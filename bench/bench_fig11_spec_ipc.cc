@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 11: IPC of the eight memory-intensive SPEC CPU2006 stand-ins
+ * on ThyNVM, normalized to the Ideal DRAM system, with the Ideal NVM
+ * system as the second reference.
+ *
+ * Expected shape (paper §5.4): ThyNVM within a few percent of Ideal
+ * DRAM (paper: -3.4% average) and slightly above Ideal NVM (+2.7%
+ * average), thanks to the DRAM working region.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace thynvm;
+using namespace thynvm::bench;
+
+constexpr std::uint64_t kInstructions = 1500000;
+
+const std::vector<SystemKind> kSystems = {
+    SystemKind::IdealDram, SystemKind::IdealNvm, SystemKind::ThyNvm};
+
+std::map<std::pair<int, int>, RunMetrics> g_results;
+
+void
+BM_Fig11(benchmark::State& state)
+{
+    const auto& prof = specProfiles()[static_cast<std::size_t>(
+        state.range(0))];
+    const auto kind = kSystems[static_cast<std::size_t>(state.range(1))];
+    RunMetrics m;
+    for (auto _ : state)
+        m = runSpec(paperSystem(kind), prof, kInstructions);
+    g_results[{static_cast<int>(state.range(0)),
+               static_cast<int>(state.range(1))}] = m;
+    state.counters["ipc"] = m.ipc;
+    state.SetLabel(std::string(prof.name) + "/" + systemKindName(kind));
+}
+
+BENCHMARK(BM_Fig11)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6, 7}, {0, 1, 2}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+printSummary()
+{
+    heading("Figure 11: SPEC CPU2006 IPC normalized to Ideal DRAM");
+    std::printf("%-11s %12s %12s %12s\n", "benchmark", "Ideal DRAM",
+                "Ideal NVM", "ThyNVM");
+    double sum_nvm = 0.0, sum_thynvm = 0.0;
+    for (std::size_t b = 0; b < specProfiles().size(); ++b) {
+        const double base =
+            g_results.at({static_cast<int>(b), 0}).ipc;
+        const double nvm =
+            g_results.at({static_cast<int>(b), 1}).ipc / base;
+        const double thynvm =
+            g_results.at({static_cast<int>(b), 2}).ipc / base;
+        sum_nvm += nvm;
+        sum_thynvm += thynvm;
+        std::printf("%-11s %12.3f %12.3f %12.3f\n",
+                    specProfiles()[b].name, 1.0, nvm, thynvm);
+    }
+    std::printf("%-11s %12.3f %12.3f %12.3f\n", "gmean-ish", 1.0,
+                sum_nvm / 8.0, sum_thynvm / 8.0);
+    std::printf("\n(paper: ThyNVM -3.4%% vs Ideal DRAM, +2.7%% vs "
+                "Ideal NVM on average)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    printSummary();
+    return 0;
+}

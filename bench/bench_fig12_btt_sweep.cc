@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Figure 12: sensitivity of the hash-table key-value store to the BTT
+ * size (256 to 8192 entries): transaction throughput and total NVM
+ * write traffic.
+ *
+ * Expected shape (paper §5.5): NVM write traffic falls and throughput
+ * generally rises with a larger BTT (fewer overflow-forced epochs,
+ * better coalescing, less bus contention).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace thynvm;
+using namespace thynvm::bench;
+
+const std::vector<std::size_t> kBttSizes = {256,  512,  1024,
+                                            2048, 4096, 8192};
+
+std::map<int, KvResult> g_results;
+
+/**
+ * Write-intensive variant of the storage workload: insert-heavy with
+ * 1 KB values, so the per-epoch dirty block footprint actually
+ * pressures the BTT (the regime Figure 12 sweeps).
+ */
+KvResult
+runWriteHeavyKv(const SystemConfig& cfg)
+{
+    KvWorkload::Params p;
+    p.structure = KvWorkload::Structure::HashTable;
+    p.phys_size = cfg.phys_size;
+    p.value_size = 1024;
+    p.key_space = 12288;
+    p.initial_keys = 6144;
+    p.hash_buckets = 4096;
+    p.search_frac = 0.3;
+    p.insert_frac = 0.55;
+    p.compute_per_txn = 1000;
+    p.total_txns = 12000;
+    KvWorkload wl(p);
+    System sys(cfg, wl);
+    sys.start();
+    sys.run(120 * kSecond);
+    fatal_if(!sys.finished(), "fig12 benchmark did not complete");
+    KvResult r;
+    r.m = sys.metrics();
+    const double seconds = static_cast<double>(r.m.exec_time) / kSecond;
+    r.ktps = static_cast<double>(p.total_txns) / seconds / 1000.0;
+    r.write_bw_mbps = static_cast<double>(r.m.nvm_wr_total) /
+                      (1024.0 * 1024.0) / seconds;
+    return r;
+}
+
+void
+BM_Fig12(benchmark::State& state)
+{
+    auto cfg = paperSystem(SystemKind::ThyNvm);
+    cfg.thynvm.btt_entries =
+        kBttSizes[static_cast<std::size_t>(state.range(0))];
+    // Paper-faithful overflow budget: the paper has no overflow valve
+    // (overflow simply forces epochs), so the spill path must stay a
+    // narrow escape hatch here or it masks the BTT sensitivity this
+    // figure measures.
+    cfg.thynvm.overflow_entries = 32768;
+    cfg.thynvm.overflow_stall_watermark = 4096;
+    KvResult r;
+    for (auto _ : state)
+        r = runWriteHeavyKv(cfg);
+    g_results[static_cast<int>(state.range(0))] = r;
+    state.counters["ktps"] = r.ktps;
+    state.counters["nvm_wr_mb"] = mb(r.m.nvm_wr_total);
+    state.SetLabel("btt=" +
+                   std::to_string(cfg.thynvm.btt_entries));
+}
+
+BENCHMARK(BM_Fig12)
+    ->DenseRange(0, 5)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+printSummary()
+{
+    heading("Figure 12: effect of BTT size (hash-table KV store)");
+    std::printf("%-12s %14s %16s\n", "btt_entries", "ktps",
+                "nvm_write_MB");
+    for (std::size_t i = 0; i < kBttSizes.size(); ++i) {
+        const auto& r = g_results.at(static_cast<int>(i));
+        std::printf("%-12zu %14.1f %16.1f\n", kBttSizes[i], r.ktps,
+                    mb(r.m.nvm_wr_total));
+    }
+    std::printf("\n(paper: write traffic falls and throughput rises "
+                "with BTT size)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    printSummary();
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Run one workload across all five evaluated memory systems (paper
+ * §5.1) and print a side-by-side comparison: execution time, IPC, NVM
+ * write traffic, and checkpointing overhead.
+ *
+ * Usage: compare_systems [random|streaming|sliding] [accesses]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness/system.hh"
+#include "workloads/micro.hh"
+
+using namespace thynvm;
+
+int
+main(int argc, char** argv)
+{
+    MicroWorkload::Pattern pattern = MicroWorkload::Pattern::Sliding;
+    if (argc > 1) {
+        if (std::strcmp(argv[1], "random") == 0)
+            pattern = MicroWorkload::Pattern::Random;
+        else if (std::strcmp(argv[1], "streaming") == 0)
+            pattern = MicroWorkload::Pattern::Streaming;
+        else if (std::strcmp(argv[1], "sliding") == 0)
+            pattern = MicroWorkload::Pattern::Sliding;
+        else
+            std::fprintf(stderr, "unknown pattern '%s'\n", argv[1]);
+    }
+    const std::uint64_t accesses =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 60000;
+
+    std::printf("%-11s %12s %8s %12s %12s %10s\n", "system", "exec_ms",
+                "ipc", "nvm_wr_MB", "ckpt_wr_MB", "ckpt_%");
+
+    const SystemKind kinds[] = {SystemKind::IdealDram,
+                                SystemKind::Journal, SystemKind::Shadow,
+                                SystemKind::ThyNvm, SystemKind::IdealNvm};
+    for (SystemKind kind : kinds) {
+        SystemConfig cfg;
+        cfg.kind = kind;
+        cfg.phys_size = 16u << 20;
+        cfg.epoch_length = 2 * kMillisecond;
+        cfg.thynvm.btt_entries = 2048;
+        cfg.thynvm.ptt_entries = 2048;
+
+        MicroWorkload::Params wp;
+        wp.pattern = pattern;
+        wp.array_bytes = 12u << 20;
+        wp.total_accesses = accesses;
+        MicroWorkload workload(wp);
+
+        System machine(cfg, workload);
+        machine.start();
+        machine.run(60 * kSecond);
+        if (!machine.finished()) {
+            std::printf("%-11s did not finish\n", systemKindName(kind));
+            continue;
+        }
+        const auto m = machine.metrics();
+        std::printf("%-11s %12.2f %8.3f %12.1f %12.1f %10.2f\n",
+                    systemKindName(kind),
+                    static_cast<double>(m.exec_time) / kMillisecond,
+                    m.ipc,
+                    static_cast<double>(m.nvm_wr_total) / (1 << 20),
+                    static_cast<double>(m.nvm_wr_ckpt) / (1 << 20),
+                    m.ckpt_time_frac * 100.0);
+    }
+    return 0;
+}

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Shared machinery for the stop-the-world baseline controllers
+ * (journaling and shadow paging, paper §5.1).
+ *
+ * Both baselines checkpoint with a traditional epoch model (Figure 3a):
+ * at each epoch boundary the CPU is paused, volatile state is flushed,
+ * the checkpoint is taken to completion, and only then does execution
+ * resume. The whole window counts as checkpoint stall time.
+ */
+
+#ifndef THYNVM_BASELINES_EPOCH_CONTROLLER_HH
+#define THYNVM_BASELINES_EPOCH_CONTROLLER_HH
+
+#include <cstring>
+#include <deque>
+
+#include "mem/controller.hh"
+
+namespace thynvm {
+
+/**
+ * Base class implementing the stop-the-world epoch loop.
+ */
+class EpochController : public MemController
+{
+  public:
+    EpochController(EventQueue& eq, std::string name, Tick epoch_length)
+        : MemController(eq, std::move(name)),
+          epoch_length_(epoch_length),
+          epoch_timer_([this] { requestEpochEnd(); })
+    {}
+
+    void
+    start() override
+    {
+        panic_if(started_, "controller started twice");
+        started_ = true;
+        armTimer();
+    }
+
+    /** Register the callback that resumes the paused CPU. */
+    void setResumeClient(std::function<void()> cb)
+    {
+        resume_client_ = std::move(cb);
+    }
+
+    /** Force an early epoch boundary (e.g., on buffer overflow). */
+    void
+    requestEpochEnd()
+    {
+        if (!started_)
+            return;
+        boundary_requested_ = true;
+        // Defer: the request may originate mid-way through an access
+        // path; the checkpoint must only start between accesses.
+        eventq_.scheduleIn(0, [this] { tryBeginBoundary(); });
+    }
+
+    /** True while a stop-the-world checkpoint is running. */
+    bool checkpointInProgress() const { return ckpt_in_progress_; }
+
+    void
+    persistCpuState(const std::vector<std::uint8_t>& blob) override
+    {
+        cpu_state_ = blob;
+    }
+
+    const std::vector<std::uint8_t>&
+    recoveredCpuState() const override
+    {
+        return recovered_cpu_state_;
+    }
+
+  protected:
+    /**
+     * Subclass hook: take a complete checkpoint (all data durable, a
+     * commit point written), then invoke @p done.
+     */
+    virtual void doCheckpoint(std::function<void()> done) = 0;
+
+    /**
+     * Stall an access until the running checkpoint finishes; the access
+     * is replayed through accessBlock afterwards.
+     */
+    void
+    stallAccess(Addr paddr, bool is_write, const std::uint8_t* wdata,
+                std::function<void()> done)
+    {
+        Stalled s;
+        s.paddr = paddr;
+        s.is_write = is_write;
+        if (is_write)
+            std::memcpy(s.data.data(), wdata, kBlockSize);
+        s.done = std::move(done);
+        s.stalled_at = curTick();
+        stalled_.push_back(std::move(s));
+    }
+
+    void
+    armTimer()
+    {
+        if (epoch_timer_.scheduled())
+            eventq_.deschedule(epoch_timer_);
+        eventq_.schedule(epoch_timer_, curTick() + epoch_length_);
+    }
+
+    void
+    tryBeginBoundary()
+    {
+        if (!started_ || !boundary_requested_ || ckpt_in_progress_)
+            return;
+        boundary_requested_ = false;
+        ckpt_in_progress_ = true;
+        stall_start_ = curTick();
+        if (epoch_timer_.scheduled())
+            eventq_.deschedule(epoch_timer_);
+        auto run = [this] {
+            doCheckpoint([this] { boundaryDone(); });
+        };
+        if (flush_)
+            flush_(run);
+        else
+            run();
+    }
+
+    void
+    boundaryDone()
+    {
+        ++epochs_;
+        const Tick stalled = curTick() - stall_start_;
+        ckpt_stall_time_ += static_cast<double>(stalled);
+        ckpt_busy_time_ += static_cast<double>(stalled);
+        ckpt_in_progress_ = false;
+        if (resume_client_)
+            resume_client_();
+        armTimer();
+        replayStalled();
+        tryBeginBoundary();
+    }
+
+    void
+    replayStalled()
+    {
+        auto stalled = std::move(stalled_);
+        stalled_.clear();
+        for (auto& s : stalled) {
+            ckpt_stall_time_ +=
+                static_cast<double>(curTick() - s.stalled_at);
+            accessBlock(s.paddr, s.is_write, s.data.data(), nullptr,
+                        TrafficSource::CpuWriteback, std::move(s.done));
+        }
+    }
+
+    /** Reset the epoch machinery after a crash. */
+    void
+    resetEpochState()
+    {
+        started_ = false;
+        ckpt_in_progress_ = false;
+        boundary_requested_ = false;
+        stalled_.clear();
+        cpu_state_.clear();
+        if (epoch_timer_.scheduled())
+            eventq_.deschedule(epoch_timer_);
+    }
+
+    Tick epoch_length_;
+    bool started_ = false;
+    bool ckpt_in_progress_ = false;
+    bool boundary_requested_ = false;
+    Tick stall_start_ = 0;
+    Event epoch_timer_;
+    std::function<void()> resume_client_;
+    std::vector<std::uint8_t> cpu_state_;
+    std::vector<std::uint8_t> recovered_cpu_state_;
+
+  private:
+    struct Stalled
+    {
+        Addr paddr;
+        bool is_write;
+        std::array<std::uint8_t, kBlockSize> data;
+        std::function<void()> done;
+        Tick stalled_at;
+    };
+    std::deque<Stalled> stalled_;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_BASELINES_EPOCH_CONTROLLER_HH

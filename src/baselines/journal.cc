@@ -1,0 +1,387 @@
+/**
+ * @file
+ * JournalController implementation.
+ */
+
+#include "baselines/journal.hh"
+
+#include <algorithm>
+
+namespace thynvm {
+
+namespace {
+
+constexpr std::uint64_t kJournalMagic = 0x4a4f55524e414c21ull; // JOURNAL!
+
+struct JournalHeader
+{
+    std::uint64_t magic;
+    std::uint64_t epoch;
+    std::uint64_t count;
+    std::uint64_t cpu_len;
+};
+
+struct AppliedMarker
+{
+    std::uint64_t magic;
+    std::uint64_t epoch;
+};
+
+} // namespace
+
+JournalController::JournalController(
+    EventQueue& eq, std::string name, const JournalConfig& cfg,
+    std::shared_ptr<BackingStore> nvm_store)
+    : EpochController(eq, std::move(name), cfg.epoch_length),
+      cfg_(cfg),
+      dram_dev_(eq, this->name() + ".dram",
+                DeviceParams::dram((cfg.table_entries + cfg.table_headroom)
+                                   * kBlockSize)),
+      nvm_dev_(eq, this->name() + ".nvm",
+               DeviceParams::nvm(
+                   cfg.phys_size +
+                   (cfg.table_entries + cfg.table_headroom) * kBlockSize +
+                   roundUp((cfg.table_entries + cfg.table_headroom) * 8,
+                           kBlockSize) +
+                   2 * kBlockSize + roundUp(8 + cfg.cpu_state_max,
+                                            kBlockSize)),
+               std::move(nvm_store)),
+      dram_port_(dram_dev_),
+      nvm_port_(nvm_dev_)
+{
+    stats().addScalar("journaled_blocks", &journaled_blocks_,
+                      "blocks written to the NVM journal");
+    stats().addScalar("applied_blocks", &applied_blocks_,
+                      "journaled blocks applied in place");
+    stats().addScalar("replayed_blocks", &replayed_blocks_,
+                      "blocks replayed from the journal at recovery");
+    stats().addScalar("overflow_epochs", &overflow_epochs_,
+                      "epochs forced by table overflow");
+}
+
+Addr
+JournalController::journalDataAddr(std::size_t i) const
+{
+    return cfg_.phys_size + i * kBlockSize;
+}
+
+Addr
+JournalController::journalMetaAddr() const
+{
+    return cfg_.phys_size + hardCapacity() * kBlockSize;
+}
+
+Addr
+JournalController::headerAddr() const
+{
+    return journalMetaAddr() + roundUp(hardCapacity() * 8, kBlockSize);
+}
+
+Addr
+JournalController::appliedAddr() const
+{
+    return headerAddr() + kBlockSize;
+}
+
+Addr
+JournalController::cpuAddr() const
+{
+    return appliedAddr() + kBlockSize;
+}
+
+void
+JournalController::accessBlock(Addr paddr, bool is_write,
+                               const std::uint8_t* wdata,
+                               std::uint8_t* rdata, TrafficSource source,
+                               std::function<void()> done)
+{
+    panic_if(paddr % kBlockSize != 0, "unaligned controller access");
+    panic_if(paddr + kBlockSize > cfg_.phys_size,
+             "physical address out of range");
+
+    auto it = table_.find(paddr);
+    if (!is_write) {
+        DeviceRequest req;
+        req.addr = 0;
+        req.is_write = false;
+        req.source = source;
+        req.on_complete = std::move(done);
+        if (it != table_.end()) {
+            const Addr slot = dramSlotAddr(it->second);
+            dram_port_.functionalRead(slot, rdata, kBlockSize);
+            req.addr = slot;
+            dram_port_.send(std::move(req));
+        } else {
+            nvm_port_.functionalRead(paddr, rdata, kBlockSize);
+            req.addr = paddr;
+            nvm_port_.send(std::move(req));
+        }
+        return;
+    }
+
+    // Store: coalesce into the DRAM journal buffer.
+    std::size_t slot;
+    if (it != table_.end()) {
+        slot = it->second;
+    } else {
+        if (table_.size() >= hardCapacity()) {
+            // Should be unreachable: the soft trigger fires well before.
+            stallAccess(paddr, true, wdata, std::move(done));
+            requestEpochEnd();
+            return;
+        }
+        slot = next_slot_++;
+        table_.emplace(paddr, slot);
+        if (table_.size() >= cfg_.table_entries && !ckpt_in_progress_) {
+            ++overflow_epochs_;
+            requestEpochEnd();
+        }
+    }
+
+    DeviceRequest req;
+    req.addr = dramSlotAddr(slot);
+    req.is_write = true;
+    req.source = TrafficSource::CpuWriteback;
+    std::memcpy(req.data.data(), wdata, kBlockSize);
+    dram_port_.send(std::move(req), std::move(done));
+}
+
+void
+JournalController::functionalRead(Addr paddr, void* buf,
+                                  std::size_t len) const
+{
+    auto* out = static_cast<std::uint8_t*>(buf);
+    std::size_t remaining = len;
+    Addr addr = paddr;
+    while (remaining > 0) {
+        const Addr block = blockAlign(addr);
+        const std::size_t in_block = addr - block;
+        const std::size_t chunk =
+            std::min(remaining, kBlockSize - in_block);
+        std::uint8_t tmp[kBlockSize];
+        auto it = table_.find(block);
+        if (it != table_.end())
+            dram_port_.functionalRead(dramSlotAddr(it->second), tmp,
+                                      kBlockSize);
+        else
+            nvm_port_.functionalRead(block, tmp, kBlockSize);
+        std::memcpy(out, tmp + in_block, chunk);
+        out += chunk;
+        addr += chunk;
+        remaining -= chunk;
+    }
+}
+
+void
+JournalController::loadImage(Addr paddr, const void* buf, std::size_t len)
+{
+    panic_if(paddr + len > cfg_.phys_size, "image beyond physical space");
+    nvm_dev_.store().write(paddr, buf, len);
+}
+
+void
+JournalController::doCheckpoint(std::function<void()> done)
+{
+    // Snapshot the table in slot order for deterministic journal layout.
+    std::vector<std::pair<std::size_t, Addr>> entries;
+    entries.reserve(table_.size());
+    for (const auto& [paddr, slot] : table_)
+        entries.emplace_back(slot, paddr);
+    std::sort(entries.begin(), entries.end());
+
+    // Phase 1: write journal data + metadata records.
+    std::vector<std::uint8_t> meta(roundUp(entries.size() * 8, kBlockSize),
+                                   0);
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto [slot, paddr] = entries[i];
+        std::uint8_t data[kBlockSize];
+        dram_port_.functionalRead(dramSlotAddr(slot), data, kBlockSize);
+
+        DeviceRequest rd;
+        rd.addr = dramSlotAddr(slot);
+        rd.is_write = false;
+        rd.source = TrafficSource::Checkpoint;
+        dram_port_.send(std::move(rd));
+
+        DeviceRequest wr;
+        wr.addr = journalDataAddr(i);
+        wr.is_write = true;
+        wr.source = TrafficSource::Checkpoint;
+        std::memcpy(wr.data.data(), data, kBlockSize);
+        nvm_port_.send(std::move(wr));
+        ++journaled_blocks_;
+
+        std::memcpy(meta.data() + i * 8, &paddr, 8);
+    }
+    for (std::size_t off = 0; off < meta.size(); off += kBlockSize) {
+        DeviceRequest wr;
+        wr.addr = journalMetaAddr() + off;
+        wr.is_write = true;
+        wr.source = TrafficSource::Checkpoint;
+        std::memcpy(wr.data.data(), meta.data() + off, kBlockSize);
+        nvm_port_.send(std::move(wr));
+    }
+
+    // CPU state blob.
+    std::vector<std::uint8_t> cpu(roundUp(8 + cpu_state_.size(),
+                                          kBlockSize),
+                                  0);
+    const std::uint64_t cpu_len = cpu_state_.size();
+    std::memcpy(cpu.data(), &cpu_len, 8);
+    std::memcpy(cpu.data() + 8, cpu_state_.data(), cpu_state_.size());
+    for (std::size_t off = 0; off < cpu.size(); off += kBlockSize) {
+        DeviceRequest wr;
+        wr.addr = cpuAddr() + off;
+        wr.is_write = true;
+        wr.source = TrafficSource::Checkpoint;
+        std::memcpy(wr.data.data(), cpu.data() + off, kBlockSize);
+        nvm_port_.send(std::move(wr));
+    }
+
+    const std::uint64_t epoch = epoch_num_++;
+    auto commit_entries = std::make_shared<
+        std::vector<std::pair<std::size_t, Addr>>>(std::move(entries));
+
+    // Phase 2: commit header after the journal is durable.
+    nvm_port_.notifyWhenWritesDurable([this, epoch, commit_entries,
+                                       done = std::move(done)]() mutable {
+        JournalHeader hdr{};
+        hdr.magic = kJournalMagic;
+        hdr.epoch = epoch;
+        hdr.count = commit_entries->size();
+        hdr.cpu_len = cpu_state_.size();
+        DeviceRequest wr;
+        wr.addr = headerAddr();
+        wr.is_write = true;
+        wr.source = TrafficSource::Checkpoint;
+        std::memcpy(wr.data.data(), &hdr, sizeof(hdr));
+        nvm_port_.send(std::move(wr));
+
+        // Phase 3: apply in place, then retire the journal.
+        nvm_port_.notifyWhenWritesDurable([this, epoch, commit_entries,
+                                           done = std::move(done)]()
+                                              mutable {
+            for (const auto& [slot, paddr] : *commit_entries) {
+                std::uint8_t data[kBlockSize];
+                dram_port_.functionalRead(dramSlotAddr(slot), data,
+                                          kBlockSize);
+                DeviceRequest wr;
+                wr.addr = paddr;
+                wr.is_write = true;
+                wr.source = TrafficSource::Checkpoint;
+                std::memcpy(wr.data.data(), data, kBlockSize);
+                nvm_port_.send(std::move(wr));
+                ++applied_blocks_;
+            }
+            nvm_port_.notifyWhenWritesDurable([this, epoch,
+                                               done = std::move(done)]()
+                                                  mutable {
+                AppliedMarker mk{kJournalMagic, epoch};
+                DeviceRequest wr;
+                wr.addr = appliedAddr();
+                wr.is_write = true;
+                wr.source = TrafficSource::Checkpoint;
+                std::memcpy(wr.data.data(), &mk, sizeof(mk));
+                nvm_port_.send(std::move(wr));
+                nvm_port_.notifyWhenWritesDurable(
+                    [this, done = std::move(done)]() mutable {
+                        table_.clear();
+                        next_slot_ = 0;
+                        done();
+                    });
+            });
+        });
+    });
+}
+
+void
+JournalController::crash()
+{
+    dram_port_.crash();
+    nvm_port_.crash();
+    dram_dev_.crash();
+    nvm_dev_.crash();
+    dram_dev_.store().clear();
+    table_.clear();
+    next_slot_ = 0;
+    resetEpochState();
+}
+
+void
+JournalController::recover(std::function<void()> done)
+{
+    JournalHeader hdr{};
+    nvm_dev_.store().read(headerAddr(), &hdr, sizeof(hdr));
+    AppliedMarker mk{};
+    nvm_dev_.store().read(appliedAddr(), &mk, sizeof(mk));
+
+    auto outstanding = std::make_shared<std::uint64_t>(1);
+    auto fire = std::make_shared<std::function<void()>>(std::move(done));
+    auto dec = [this, outstanding, fire] {
+        if (--*outstanding == 0) {
+            ++recoveries_;
+            auto cb = std::move(*fire);
+            *fire = nullptr;
+            if (cb)
+                cb();
+        }
+    };
+    auto track = [outstanding] { ++*outstanding; };
+
+    if (hdr.magic == kJournalMagic) {
+        // Restore the CPU state of the committed epoch.
+        std::uint64_t cpu_len = 0;
+        nvm_dev_.store().read(cpuAddr(), &cpu_len, 8);
+        panic_if(cpu_len != hdr.cpu_len, "CPU state length mismatch");
+        recovered_cpu_state_.resize(cpu_len);
+        nvm_dev_.store().read(cpuAddr() + 8, recovered_cpu_state_.data(),
+                              cpu_len);
+
+        if (mk.magic != kJournalMagic || mk.epoch < hdr.epoch) {
+            // Committed but not applied: redo the journal.
+            for (std::uint64_t i = 0; i < hdr.count; ++i) {
+                Addr paddr = 0;
+                nvm_dev_.store().read(journalMetaAddr() + i * 8, &paddr,
+                                      8);
+                std::uint8_t data[kBlockSize];
+                nvm_dev_.store().read(journalDataAddr(i), data,
+                                      kBlockSize);
+                ++replayed_blocks_;
+
+                DeviceRequest rd;
+                rd.addr = journalDataAddr(i);
+                rd.is_write = false;
+                rd.source = TrafficSource::Recovery;
+                track();
+                rd.on_complete = dec;
+                nvm_port_.send(std::move(rd));
+
+                DeviceRequest wr;
+                wr.addr = paddr;
+                wr.is_write = true;
+                wr.source = TrafficSource::Recovery;
+                std::memcpy(wr.data.data(), data, kBlockSize);
+                track();
+                wr.on_complete = dec;
+                nvm_port_.send(std::move(wr));
+            }
+            AppliedMarker newmk{kJournalMagic, hdr.epoch};
+            DeviceRequest wr;
+            wr.addr = appliedAddr();
+            wr.is_write = true;
+            wr.source = TrafficSource::Recovery;
+            std::memcpy(wr.data.data(), &newmk, sizeof(newmk));
+            track();
+            wr.on_complete = dec;
+            nvm_port_.send(std::move(wr));
+        }
+        epoch_num_ = hdr.epoch + 1;
+    } else {
+        recovered_cpu_state_.clear();
+        epoch_num_ = 1;
+    }
+
+    eventq_.scheduleIn(0, dec);
+}
+
+} // namespace thynvm

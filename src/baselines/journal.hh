@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Journaling (redo-log) baseline controller (paper §5.1, system 3).
+ *
+ * A journal buffer in DRAM collects and coalesces updated blocks. At
+ * each epoch boundary, stop-the-world: the buffer is written to a
+ * journal region in NVM together with its metadata, a commit header is
+ * written after a full drain, the blocks are then applied in place to
+ * the Home region, and finally an "applied" marker retires the journal.
+ * Recovery replays a committed-but-unapplied journal (redo semantics).
+ *
+ * The dirty-block tracking table is sized like ThyNVM's BTT+PTT
+ * combined, as in the paper's evaluation setup.
+ */
+
+#ifndef THYNVM_BASELINES_JOURNAL_HH
+#define THYNVM_BASELINES_JOURNAL_HH
+
+#include <unordered_map>
+
+#include "baselines/epoch_controller.hh"
+#include "mem/port.hh"
+
+namespace thynvm {
+
+/** Configuration of the journaling controller. */
+struct JournalConfig
+{
+    /** Software-visible physical address space in bytes. */
+    std::size_t phys_size = 32u << 20;
+    /**
+     * Soft capacity of the dirty-block table; reaching it forces an
+     * epoch boundary (paper: sized as ThyNVM's BTT + PTT).
+     */
+    std::size_t table_entries = 2048 + 4096;
+    /**
+     * Extra hard headroom so the cache-flush writebacks at a boundary
+     * can always be absorbed (more than the whole hierarchy's blocks).
+     */
+    std::size_t table_headroom = 40 * 1024;
+    /** Epoch length. */
+    Tick epoch_length = 10 * kMillisecond;
+    /** Reserved bytes for the CPU state blob. */
+    std::size_t cpu_state_max = 16384;
+};
+
+/**
+ * Redo-journaling hybrid persistent-memory controller.
+ */
+class JournalController : public EpochController
+{
+  public:
+    JournalController(EventQueue& eq, std::string name,
+                      const JournalConfig& cfg,
+                      std::shared_ptr<BackingStore> nvm_store = nullptr);
+
+    std::size_t physCapacity() const override { return cfg_.phys_size; }
+    void accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
+                     std::uint8_t* rdata, TrafficSource source,
+                     std::function<void()> done) override;
+    void functionalRead(Addr paddr, void* buf,
+                        std::size_t len) const override;
+    void loadImage(Addr paddr, const void* buf, std::size_t len) override;
+    void crash() override;
+    void recover(std::function<void()> done) override;
+
+    /** DRAM device (journal buffer). */
+    MemDevice& dram() { return dram_dev_; }
+    /** NVM device (home + journal + headers). */
+    MemDevice& nvm() { return nvm_dev_; }
+    MemDevice* nvmDevice() override { return &nvm_dev_; }
+    MemDevice* dramDevice() override { return &dram_dev_; }
+    std::shared_ptr<BackingStore> nvmStoreHandle() override
+    {
+        return nvm_dev_.storeHandle();
+    }
+    /** Live entries in the dirty-block table. */
+    std::size_t tableLive() const { return table_.size(); }
+
+  protected:
+    void doCheckpoint(std::function<void()> done) override;
+
+  private:
+    std::size_t hardCapacity() const
+    {
+        return cfg_.table_entries + cfg_.table_headroom;
+    }
+    Addr dramSlotAddr(std::size_t slot) const { return slot * kBlockSize; }
+    Addr journalDataAddr(std::size_t i) const;
+    Addr journalMetaAddr() const;
+    Addr headerAddr() const;
+    Addr appliedAddr() const;
+    Addr cpuAddr() const;
+
+    JournalConfig cfg_;
+    MemDevice dram_dev_;
+    MemDevice nvm_dev_;
+    DevicePort dram_port_;
+    DevicePort nvm_port_;
+
+    /** physical block address -> DRAM buffer slot. */
+    std::unordered_map<Addr, std::size_t> table_;
+    std::size_t next_slot_ = 0;
+    std::uint64_t epoch_num_ = 1;
+
+    stats::Scalar journaled_blocks_;
+    stats::Scalar applied_blocks_;
+    stats::Scalar replayed_blocks_;
+    stats::Scalar overflow_epochs_;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_BASELINES_JOURNAL_HH

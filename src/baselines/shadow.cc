@@ -1,0 +1,412 @@
+/**
+ * @file
+ * ShadowController implementation.
+ */
+
+#include "baselines/shadow.hh"
+
+#include <algorithm>
+
+namespace thynvm {
+
+namespace {
+
+constexpr std::uint64_t kShadowMagic = 0x5348414457504721ull; // SHADWPG!
+
+struct ShadowHeader
+{
+    std::uint64_t magic;
+    std::uint64_t epoch;
+    std::uint64_t cpu_len;
+};
+
+} // namespace
+
+ShadowController::ShadowController(
+    EventQueue& eq, std::string name, const ShadowConfig& cfg,
+    std::shared_ptr<BackingStore> nvm_store)
+    : EpochController(eq, std::move(name), cfg.epoch_length),
+      cfg_(cfg),
+      dram_dev_(eq, this->name() + ".dram",
+                DeviceParams::dram(cfg.dram_size)),
+      nvm_dev_(eq, this->name() + ".nvm",
+               DeviceParams::nvm(
+                   2 * cfg.phys_size +
+                   2 * roundUp(cfg.phys_size / kPageSize, kBlockSize) +
+                   2 * (kBlockSize + roundUp(8 + cfg.cpu_state_max,
+                                             kBlockSize))),
+               std::move(nvm_store)),
+      dram_port_(dram_dev_),
+      nvm_port_(nvm_dev_),
+      committed_slot_(numPages(), 0),
+      working_nvm_valid_(numPages(), 0)
+{
+    fatal_if(cfg_.phys_size % kPageSize != 0 ||
+                 cfg_.dram_size % kPageSize != 0,
+             "sizes must be page aligned");
+    free_slots_.reserve(numSlots());
+    for (std::size_t i = numSlots(); i-- > 0;)
+        free_slots_.push_back(i);
+
+    stats().addScalar("cow_faults", &cow_faults_,
+                      "pages copied into the DRAM buffer on write");
+    stats().addScalar("evictions", &evictions_,
+                      "pages evicted from the DRAM buffer");
+    stats().addScalar("pages_flushed", &pages_flushed_,
+                      "dirty pages flushed to shadow NVM slots");
+}
+
+Addr
+ShadowController::tableAddr(unsigned k) const
+{
+    return 2 * cfg_.phys_size +
+           k * roundUp(numPages(), kBlockSize);
+}
+
+Addr
+ShadowController::headerAddr(unsigned k) const
+{
+    return 2 * cfg_.phys_size + 2 * roundUp(numPages(), kBlockSize) +
+           k * (kBlockSize + roundUp(8 + cfg_.cpu_state_max, kBlockSize));
+}
+
+Addr
+ShadowController::cpuAddr(unsigned k) const
+{
+    return headerAddr(k) + kBlockSize;
+}
+
+Addr
+ShadowController::visibleNvmPage(Addr page_paddr) const
+{
+    const std::size_t idx = pageIndex(page_paddr);
+    std::uint8_t slot = committed_slot_[idx];
+    if (working_nvm_valid_[idx])
+        slot ^= 1u;
+    return nvmPageAddr(idx, slot);
+}
+
+ShadowController::Resident&
+ShadowController::fault(Addr page_paddr)
+{
+    auto it = resident_.find(page_paddr);
+    if (it != resident_.end()) {
+        it->second.lru = ++lru_clock_;
+        return it->second;
+    }
+
+    if (free_slots_.empty())
+        evictOne();
+    panic_if(free_slots_.empty(), "no DRAM slot after eviction");
+    const std::size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+
+    // Copy-on-write: bring the visible NVM copy into DRAM.
+    ++cow_faults_;
+    const Addr src = visibleNvmPage(page_paddr);
+    for (std::size_t blk = 0; blk < kBlocksPerPage; ++blk) {
+        std::uint8_t data[kBlockSize];
+        nvm_port_.functionalRead(src + blk * kBlockSize, data, kBlockSize);
+
+        DeviceRequest rd;
+        rd.addr = src + blk * kBlockSize;
+        rd.is_write = false;
+        rd.source = TrafficSource::Migration;
+        nvm_port_.send(std::move(rd));
+
+        DeviceRequest wr;
+        wr.addr = slot * kPageSize + blk * kBlockSize;
+        wr.is_write = true;
+        wr.source = TrafficSource::Migration;
+        std::memcpy(wr.data.data(), data, kBlockSize);
+        dram_port_.send(std::move(wr));
+    }
+
+    auto [nit, ok] =
+        resident_.emplace(page_paddr, Resident{slot, false, ++lru_clock_});
+    panic_if(!ok, "duplicate residency");
+    return nit->second;
+}
+
+void
+ShadowController::evictOne()
+{
+    // Prefer the LRU clean page (free drop); otherwise flush LRU dirty.
+    Addr victim = kInvalidAddr;
+    bool victim_dirty = true;
+    std::uint64_t victim_lru = 0;
+    for (const auto& [paddr, r] : resident_) {
+        const bool better = victim == kInvalidAddr ||
+                            (victim_dirty && !r.dirty) ||
+                            (victim_dirty == r.dirty && r.lru < victim_lru);
+        if (better) {
+            victim = paddr;
+            victim_dirty = r.dirty;
+            victim_lru = r.lru;
+        }
+    }
+    panic_if(victim == kInvalidAddr, "eviction from empty buffer");
+
+    auto it = resident_.find(victim);
+    ++evictions_;
+    if (it->second.dirty)
+        flushPage(victim, it->second, TrafficSource::Checkpoint);
+    free_slots_.push_back(it->second.slot);
+    resident_.erase(it);
+}
+
+void
+ShadowController::flushPage(Addr page_paddr, Resident& r,
+                            TrafficSource src)
+{
+    const std::size_t idx = pageIndex(page_paddr);
+    const std::uint8_t target = committed_slot_[idx] ^ 1u;
+    const Addr dst = nvmPageAddr(idx, target);
+    for (std::size_t blk = 0; blk < kBlocksPerPage; ++blk) {
+        std::uint8_t data[kBlockSize];
+        dram_port_.functionalRead(r.slot * kPageSize + blk * kBlockSize,
+                                  data, kBlockSize);
+
+        DeviceRequest rd;
+        rd.addr = r.slot * kPageSize + blk * kBlockSize;
+        rd.is_write = false;
+        rd.source = src;
+        dram_port_.send(std::move(rd));
+
+        DeviceRequest wr;
+        wr.addr = dst + blk * kBlockSize;
+        wr.is_write = true;
+        wr.source = src;
+        std::memcpy(wr.data.data(), data, kBlockSize);
+        nvm_port_.send(std::move(wr));
+    }
+    working_nvm_valid_[idx] = 1;
+    r.dirty = false;
+    ++pages_flushed_;
+}
+
+void
+ShadowController::accessBlock(Addr paddr, bool is_write,
+                              const std::uint8_t* wdata,
+                              std::uint8_t* rdata, TrafficSource source,
+                              std::function<void()> done)
+{
+    panic_if(paddr % kBlockSize != 0, "unaligned controller access");
+    panic_if(paddr + kBlockSize > cfg_.phys_size,
+             "physical address out of range");
+    const Addr page = pageAlign(paddr);
+    auto it = resident_.find(page);
+
+    if (!is_write) {
+        DeviceRequest req;
+        req.is_write = false;
+        req.source = source;
+        req.on_complete = std::move(done);
+        if (it != resident_.end()) {
+            it->second.lru = ++lru_clock_;
+            const Addr a =
+                it->second.slot * kPageSize + (paddr - page);
+            dram_port_.functionalRead(a, rdata, kBlockSize);
+            req.addr = a;
+            dram_port_.send(std::move(req));
+        } else {
+            const Addr a = visibleNvmPage(page) + (paddr - page);
+            nvm_port_.functionalRead(a, rdata, kBlockSize);
+            req.addr = a;
+            nvm_port_.send(std::move(req));
+        }
+        return;
+    }
+
+    Resident& r = fault(page);
+    r.dirty = true;
+    DeviceRequest req;
+    req.addr = r.slot * kPageSize + (paddr - page);
+    req.is_write = true;
+    req.source = TrafficSource::CpuWriteback;
+    std::memcpy(req.data.data(), wdata, kBlockSize);
+    dram_port_.send(std::move(req), std::move(done));
+}
+
+void
+ShadowController::functionalRead(Addr paddr, void* buf,
+                                 std::size_t len) const
+{
+    auto* out = static_cast<std::uint8_t*>(buf);
+    std::size_t remaining = len;
+    Addr addr = paddr;
+    while (remaining > 0) {
+        const Addr block = blockAlign(addr);
+        const Addr page = pageAlign(addr);
+        const std::size_t in_block = addr - block;
+        const std::size_t chunk =
+            std::min(remaining, kBlockSize - in_block);
+        std::uint8_t tmp[kBlockSize];
+        auto it = resident_.find(page);
+        if (it != resident_.end()) {
+            dram_port_.functionalRead(
+                it->second.slot * kPageSize + (block - page), tmp,
+                kBlockSize);
+        } else {
+            nvm_port_.functionalRead(visibleNvmPage(page) + (block - page),
+                                     tmp, kBlockSize);
+        }
+        std::memcpy(out, tmp + in_block, chunk);
+        out += chunk;
+        addr += chunk;
+        remaining -= chunk;
+    }
+}
+
+void
+ShadowController::loadImage(Addr paddr, const void* buf, std::size_t len)
+{
+    panic_if(paddr + len > cfg_.phys_size, "image beyond physical space");
+    nvm_dev_.store().write(paddr, buf, len);
+}
+
+void
+ShadowController::doCheckpoint(std::function<void()> done)
+{
+    // Flush every dirty resident page to its shadow slot.
+    std::vector<Addr> pages;
+    for (auto& [paddr, r] : resident_) {
+        if (r.dirty)
+            pages.push_back(paddr);
+    }
+    std::sort(pages.begin(), pages.end());
+    for (Addr paddr : pages)
+        flushPage(paddr, resident_.at(paddr), TrafficSource::Checkpoint);
+
+    // New committed-slot table: flushed pages flip to the shadow slot.
+    std::vector<std::uint8_t> table(roundUp(numPages(), kBlockSize), 0);
+    for (std::size_t i = 0; i < numPages(); ++i)
+        table[i] = committed_slot_[i] ^ working_nvm_valid_[i];
+
+    const unsigned k = static_cast<unsigned>(epoch_num_ & 1);
+    for (std::size_t off = 0; off < table.size(); off += kBlockSize) {
+        DeviceRequest wr;
+        wr.addr = tableAddr(k) + off;
+        wr.is_write = true;
+        wr.source = TrafficSource::Checkpoint;
+        std::memcpy(wr.data.data(), table.data() + off, kBlockSize);
+        nvm_port_.send(std::move(wr));
+    }
+
+    std::vector<std::uint8_t> cpu(roundUp(8 + cpu_state_.size(),
+                                          kBlockSize),
+                                  0);
+    const std::uint64_t cpu_len = cpu_state_.size();
+    std::memcpy(cpu.data(), &cpu_len, 8);
+    std::memcpy(cpu.data() + 8, cpu_state_.data(), cpu_state_.size());
+    for (std::size_t off = 0; off < cpu.size(); off += kBlockSize) {
+        DeviceRequest wr;
+        wr.addr = cpuAddr(k) + off;
+        wr.is_write = true;
+        wr.source = TrafficSource::Checkpoint;
+        std::memcpy(wr.data.data(), cpu.data() + off, kBlockSize);
+        nvm_port_.send(std::move(wr));
+    }
+
+    nvm_port_.notifyWhenWritesDurable([this, k,
+                                       done = std::move(done)]() mutable {
+        ShadowHeader hdr{};
+        hdr.magic = kShadowMagic;
+        hdr.epoch = epoch_num_;
+        hdr.cpu_len = cpu_state_.size();
+        DeviceRequest wr;
+        wr.addr = headerAddr(k);
+        wr.is_write = true;
+        wr.source = TrafficSource::Checkpoint;
+        std::memcpy(wr.data.data(), &hdr, sizeof(hdr));
+        nvm_port_.send(std::move(wr));
+        nvm_port_.notifyWhenWritesDurable(
+            [this, done = std::move(done)]() mutable {
+                // Commit: flip slots for flushed pages.
+                for (std::size_t i = 0; i < numPages(); ++i) {
+                    committed_slot_[i] ^= working_nvm_valid_[i];
+                    working_nvm_valid_[i] = 0;
+                }
+                ++epoch_num_;
+                done();
+            });
+    });
+}
+
+void
+ShadowController::crash()
+{
+    dram_port_.crash();
+    nvm_port_.crash();
+    dram_dev_.crash();
+    nvm_dev_.crash();
+    dram_dev_.store().clear();
+    resident_.clear();
+    free_slots_.clear();
+    for (std::size_t i = numSlots(); i-- > 0;)
+        free_slots_.push_back(i);
+    std::fill(committed_slot_.begin(), committed_slot_.end(), 0);
+    std::fill(working_nvm_valid_.begin(), working_nvm_valid_.end(), 0);
+    resetEpochState();
+}
+
+void
+ShadowController::recover(std::function<void()> done)
+{
+    int best = -1;
+    std::uint64_t best_epoch = 0;
+    std::uint64_t cpu_len = 0;
+    for (unsigned k = 0; k < 2; ++k) {
+        ShadowHeader hdr{};
+        nvm_dev_.store().read(headerAddr(k), &hdr, sizeof(hdr));
+        if (hdr.magic == kShadowMagic &&
+            (best < 0 || hdr.epoch > best_epoch)) {
+            best = static_cast<int>(k);
+            best_epoch = hdr.epoch;
+            cpu_len = hdr.cpu_len;
+        }
+    }
+
+    auto outstanding = std::make_shared<std::uint64_t>(1);
+    auto fire = std::make_shared<std::function<void()>>(std::move(done));
+    auto dec = [this, outstanding, fire] {
+        if (--*outstanding == 0) {
+            ++recoveries_;
+            auto cb = std::move(*fire);
+            *fire = nullptr;
+            if (cb)
+                cb();
+        }
+    };
+
+    if (best >= 0) {
+        const unsigned k = static_cast<unsigned>(best);
+        std::vector<std::uint8_t> table(roundUp(numPages(), kBlockSize));
+        nvm_dev_.store().read(tableAddr(k), table.data(), table.size());
+        for (std::size_t i = 0; i < numPages(); ++i)
+            committed_slot_[i] = table[i] & 1u;
+        for (std::size_t off = 0; off < table.size(); off += kBlockSize) {
+            ++*outstanding;
+            DeviceRequest rd;
+            rd.addr = tableAddr(k) + off;
+            rd.is_write = false;
+            rd.source = TrafficSource::Recovery;
+            rd.on_complete = dec;
+            nvm_port_.send(std::move(rd));
+        }
+        recovered_cpu_state_.resize(cpu_len);
+        std::uint64_t stored_len = 0;
+        nvm_dev_.store().read(cpuAddr(k), &stored_len, 8);
+        panic_if(stored_len != cpu_len, "CPU state length mismatch");
+        nvm_dev_.store().read(cpuAddr(k) + 8, recovered_cpu_state_.data(),
+                              cpu_len);
+        epoch_num_ = best_epoch + 1;
+    } else {
+        recovered_cpu_state_.clear();
+        epoch_num_ = 1;
+    }
+
+    eventq_.scheduleIn(0, dec);
+}
+
+} // namespace thynvm

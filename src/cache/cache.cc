@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Cache level implementation.
+ */
+
+#include "cache/cache.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace thynvm {
+
+Cache::Cache(EventQueue& eq, std::string name, const Params& params,
+             BlockAccessor& next)
+    : SimObject(eq, std::move(name)), params_(params), next_(next)
+{
+    fatal_if(params_.size % (params_.assoc * kBlockSize) != 0,
+             "cache size must be a multiple of assoc * block size");
+    num_sets_ = params_.size / (params_.assoc * kBlockSize);
+    fatal_if(!isPowerOfTwo(num_sets_), "cache must have 2^n sets");
+    lines_.resize(num_sets_ * params_.assoc);
+
+    stats().addScalar("hits", &hits_, "block accesses that hit");
+    stats().addScalar("misses", &misses_, "block accesses that missed");
+    stats().addScalar("writebacks", &writebacks_,
+                      "dirty victim writebacks");
+    stats().addScalar("flush_writebacks", &flush_writebacks_,
+                      "dirty blocks cleaned by checkpoint flushes");
+    stats().addFormula(
+        "miss_rate",
+        [this] {
+            double total = hits_.value() + misses_.value();
+            return total > 0 ? misses_.value() / total : 0.0;
+        },
+        "fraction of accesses that missed");
+}
+
+std::size_t
+Cache::setIndex(Addr paddr) const
+{
+    return static_cast<std::size_t>(blockIndex(paddr)) & (num_sets_ - 1);
+}
+
+Cache::Line*
+Cache::lookup(Addr paddr)
+{
+    const std::size_t base = setIndex(paddr) * params_.assoc;
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line& line = lines_[base + w];
+        if (line.valid && line.tag == paddr)
+            return &line;
+    }
+    return nullptr;
+}
+
+Cache::Line&
+Cache::victimFor(Addr paddr)
+{
+    const std::size_t base = setIndex(paddr) * params_.assoc;
+    Line* victim = &lines_[base];
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        Line& line = lines_[base + w];
+        if (!line.valid)
+            return line;
+        if (line.lru < victim->lru)
+            victim = &line;
+    }
+    return *victim;
+}
+
+void
+Cache::accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
+                   std::uint8_t* rdata, TrafficSource source,
+                   std::function<void()> done)
+{
+    panic_if(paddr % kBlockSize != 0, "unaligned cache access");
+
+    Line* line = lookup(paddr);
+    if (line != nullptr) {
+        ++hits_;
+        line->lru = ++lru_clock_;
+        if (is_write) {
+            std::memcpy(line->data.data(), wdata, kBlockSize);
+            line->dirty = true;
+        } else {
+            std::memcpy(rdata, line->data.data(), kBlockSize);
+        }
+        if (done)
+            eventq_.scheduleIn(params_.hit_latency, std::move(done));
+        return;
+    }
+
+    ++misses_;
+
+    // Evict the victim, writing dirty data down synchronously (timing of
+    // the writeback proceeds independently of the demand access).
+    Line& victim = victimFor(paddr);
+    if (victim.valid && victim.dirty) {
+        ++writebacks_;
+        next_.accessBlock(victim.tag, true, victim.data.data(), nullptr,
+                          TrafficSource::CpuWriteback, nullptr);
+    }
+
+    // Fill from the next level (write-allocate). Data arrives
+    // functionally at call time; install it, then apply this access.
+    victim.valid = true;
+    victim.tag = paddr;
+    victim.dirty = false;
+    victim.lru = ++lru_clock_;
+
+    // Apply the access functionally after the fill lands in the line.
+    // The fill's rdata target is the line itself.
+    auto chain = [this, done = std::move(done)]() mutable {
+        if (done)
+            eventq_.scheduleIn(params_.hit_latency, std::move(done));
+    };
+    next_.accessBlock(paddr, false, nullptr, victim.data.data(),
+                      source, std::move(chain));
+
+    if (is_write) {
+        std::memcpy(victim.data.data(), wdata, kBlockSize);
+        victim.dirty = true;
+    } else {
+        std::memcpy(rdata, victim.data.data(), kBlockSize);
+    }
+}
+
+void
+Cache::flushDirty(std::function<void()> done)
+{
+    // Issue a clean-without-invalidate writeback for every dirty block.
+    // All writebacks are issued in one pass; a shared counter fires the
+    // continuation once the next level has acknowledged each of them.
+    auto outstanding = std::make_shared<std::size_t>(0);
+    auto all_issued = std::make_shared<bool>(false);
+    auto fire = std::make_shared<std::function<void()>>(std::move(done));
+
+    auto on_ack = [outstanding, all_issued, fire] {
+        panic_if(*outstanding == 0, "flush ack underflow");
+        --*outstanding;
+        if (*all_issued && *outstanding == 0 && *fire) {
+            auto cb = std::move(*fire);
+            *fire = nullptr;
+            cb();
+        }
+    };
+
+    for (auto& line : lines_) {
+        if (!line.valid || !line.dirty)
+            continue;
+        line.dirty = false;
+        ++flush_writebacks_;
+        ++*outstanding;
+        next_.accessBlock(line.tag, true, line.data.data(), nullptr,
+                          TrafficSource::CpuWriteback, on_ack);
+    }
+
+    *all_issued = true;
+    if (*outstanding == 0 && *fire) {
+        auto cb = std::move(*fire);
+        *fire = nullptr;
+        eventq_.scheduleIn(0, std::move(cb));
+    }
+}
+
+void
+Cache::invalidateAll()
+{
+    for (auto& line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+std::size_t
+Cache::dirtyBlockCount() const
+{
+    std::size_t count = 0;
+    for (const auto& line : lines_) {
+        if (line.valid && line.dirty)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace thynvm

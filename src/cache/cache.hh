@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A set-associative writeback cache level.
+ *
+ * Matches the paper's Table 2 hierarchy when configured by the system
+ * builder (L1 32 KB/8-way, L2 256 KB/8-way, L3 2 MB/16-way, 64 B blocks,
+ * LRU). Functional semantics follow the BlockAccessor contract: data
+ * moves synchronously at call time, callbacks model timing, so the
+ * hierarchy is always functionally coherent.
+ *
+ * Checkpointing support: flushDirty() cleans every dirty block by
+ * writing it to the next level *without invalidating* it, mirroring the
+ * CLWB-style flush the paper uses (§4.4).
+ */
+
+#ifndef THYNVM_CACHE_CACHE_HH
+#define THYNVM_CACHE_CACHE_HH
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "mem/block_accessor.hh"
+#include "sim/sim_object.hh"
+
+namespace thynvm {
+
+/**
+ * One level of a writeback, write-allocate cache hierarchy.
+ */
+class Cache : public SimObject, public BlockAccessor
+{
+  public:
+    /** Static cache geometry and timing. */
+    struct Params
+    {
+        std::size_t size = 32 * 1024;  //!< capacity in bytes
+        unsigned assoc = 8;            //!< associativity
+        Tick hit_latency = kNanosecond; //!< tag+data access time
+    };
+
+    /**
+     * @param eq event queue.
+     * @param name instance name.
+     * @param params geometry and timing.
+     * @param next next level (another Cache or a MemController).
+     */
+    Cache(EventQueue& eq, std::string name, const Params& params,
+          BlockAccessor& next);
+
+    /** See BlockAccessor. @p paddr must be block aligned. */
+    void accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
+                     std::uint8_t* rdata, TrafficSource source,
+                     std::function<void()> done) override;
+
+    /** Functional read observing this level's lines first. */
+    void
+    functionalReadBlock(Addr paddr, std::uint8_t* buf) override
+    {
+        if (const Line* line = lookup(paddr)) {
+            std::memcpy(buf, line->data.data(), kBlockSize);
+            return;
+        }
+        next_.functionalReadBlock(paddr, buf);
+    }
+
+    /**
+     * Write every dirty block back to the next level and mark it clean,
+     * keeping the data valid (flush without invalidate). @p done fires
+     * when all writebacks have been acknowledged by the next level.
+     */
+    void flushDirty(std::function<void()> done);
+
+    /** Drop all contents without writeback (power loss). */
+    void invalidateAll();
+
+    /** Number of dirty blocks currently held. */
+    std::size_t dirtyBlockCount() const;
+
+    /** Cache geometry. */
+    const Params& params() const { return params_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+        std::array<std::uint8_t, kBlockSize> data{};
+    };
+
+    std::size_t setIndex(Addr paddr) const;
+    Line* lookup(Addr paddr);
+    /** Choose a victim line in the set containing @p paddr. */
+    Line& victimFor(Addr paddr);
+
+    Params params_;
+    BlockAccessor& next_;
+    std::size_t num_sets_;
+    std::vector<Line> lines_;
+    std::uint64_t lru_clock_ = 0;
+
+    stats::Scalar hits_;
+    stats::Scalar misses_;
+    stats::Scalar writebacks_;
+    stats::Scalar flush_writebacks_;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_CACHE_CACHE_HH

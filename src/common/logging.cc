@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <vector>
+
+namespace thynvm {
+namespace detail {
+
+bool quiet = false;
+
+std::string
+vformat(const char* fmt, std::va_list args)
+{
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<std::size_t>(needed));
+}
+
+std::string
+format(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string result = vformat(fmt, args);
+    va_end(args);
+    return result;
+}
+
+void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::string full =
+        format("panic: %s (%s:%d)", msg.c_str(), file, line);
+    std::fprintf(stderr, "%s\n", full.c_str());
+    throw PanicError(full);
+}
+
+void
+fatalImpl(const char* file, int line, const std::string& msg)
+{
+    std::string full =
+        format("fatal: %s (%s:%d)", msg.c_str(), file, line);
+    std::fprintf(stderr, "%s\n", full.c_str());
+    throw FatalError(full);
+}
+
+void
+warnImpl(const std::string& msg)
+{
+    if (!quiet)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string& msg)
+{
+    if (!quiet)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+void
+setQuietLogging(bool quiet)
+{
+    detail::quiet = quiet;
+}
+
+} // namespace thynvm

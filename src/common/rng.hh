@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads and tests.
+ *
+ * A small, fast xoshiro256** generator seeded via splitmix64. Simulation
+ * results must be reproducible across runs, so all randomness in the
+ * repository flows through this class with explicit seeds.
+ */
+
+#ifndef THYNVM_COMMON_RNG_HH
+#define THYNVM_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace thynvm {
+
+/**
+ * Deterministic 64-bit PRNG (xoshiro256**).
+ */
+class Rng
+{
+  public:
+    /** Construct with the given @p seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x5eed)
+    {
+        // Seed the state with splitmix64 as recommended by the authors.
+        std::uint64_t x = seed;
+        for (auto& word : state_)
+            word = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        panic_if(bound == 0, "Rng::below(0)");
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // the bounds used in this project (\<= 2^40).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi], inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        panic_if(lo > hi, "Rng::range: lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t& x)
+    {
+        std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_COMMON_RNG_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Text rendering for stats groups.
+ */
+
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace thynvm {
+namespace stats {
+
+void
+Group::dump(std::ostream& os) const
+{
+    auto emit = [&](const std::string& stat, double v,
+                    const std::string& desc) {
+        os << std::left << std::setw(46) << (name_ + "." + stat)
+           << std::right << std::setw(18) << v;
+        if (!desc.empty())
+            os << "  # " << desc;
+        os << "\n";
+    };
+
+    for (const auto& [k, e] : scalars_)
+        emit(k, e.stat->value(), e.desc);
+    for (const auto& [k, e] : formulas_)
+        emit(k, e.fn(), e.desc);
+    for (const auto& [k, e] : histograms_) {
+        emit(k + "::count", static_cast<double>(e.stat->count()), e.desc);
+        emit(k + "::mean", e.stat->mean(), "");
+        emit(k + "::min", e.stat->minValue(), "");
+        emit(k + "::max", e.stat->maxValue(), "");
+    }
+}
+
+} // namespace stats
+} // namespace thynvm

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's stats framework.
+ *
+ * Components own a stats::Group and register named statistics with it.
+ * The harness walks groups to extract values and to render text dumps.
+ */
+
+#ifndef THYNVM_COMMON_STATS_HH
+#define THYNVM_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace thynvm {
+namespace stats {
+
+/**
+ * A monotonically updated scalar statistic (counter or gauge).
+ */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar& operator++() { value_ += 1.0; return *this; }
+    Scalar& operator+=(double v) { value_ += v; return *this; }
+    Scalar& operator-=(double v) { value_ -= v; return *this; }
+    Scalar& operator=(double v) { value_ = v; return *this; }
+
+    /** Current value. */
+    double value() const { return value_; }
+    /** Reset to zero. */
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * A fixed-bucket histogram over [0, max) with uniform bucket width,
+ * plus an overflow bucket; tracks count/sum/min/max.
+ */
+class Histogram
+{
+  public:
+    /** Create a histogram of @p buckets buckets covering [0, max). */
+    Histogram(std::size_t buckets = 16, double max = 1024.0)
+        : buckets_(buckets, 0), width_(max / static_cast<double>(buckets))
+    {
+        panic_if(buckets == 0 || max <= 0.0, "bad histogram shape");
+    }
+
+    /** Record one sample. */
+    void
+    sample(double v)
+    {
+        ++count_;
+        sum_ += v;
+        if (count_ == 1 || v < min_)
+            min_ = v;
+        if (count_ == 1 || v > max_)
+            max_ = v;
+        auto idx = static_cast<std::size_t>(v / width_);
+        if (v < 0 || idx >= buckets_.size())
+            ++overflow_;
+        else
+            ++buckets_[idx];
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minValue() const { return count_ ? min_ : 0.0; }
+    double maxValue() const { return count_ ? max_ : 0.0; }
+    std::uint64_t overflow() const { return overflow_; }
+    const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+    double bucketWidth() const { return width_; }
+
+    /** Reset all samples. */
+    void
+    reset()
+    {
+        std::fill(buckets_.begin(), buckets_.end(), 0);
+        count_ = overflow_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    double width_;
+    std::uint64_t count_ = 0;
+    std::uint64_t overflow_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named collection of statistics belonging to one component.
+ *
+ * Pointers to registered statistics must outlive the group; in practice
+ * both are members of the owning component.
+ */
+class Group
+{
+  public:
+    /** @param name hierarchical prefix, e.g. "system.mem_ctrl". */
+    explicit Group(std::string name) : name_(std::move(name)) {}
+
+    Group(const Group&) = delete;
+    Group& operator=(const Group&) = delete;
+
+    /** Register a scalar under @p stat_name. */
+    void
+    addScalar(const std::string& stat_name, Scalar* s,
+              const std::string& desc = "")
+    {
+        scalars_.emplace(stat_name, Entry<Scalar>{s, desc});
+    }
+
+    /** Register a histogram under @p stat_name. */
+    void
+    addHistogram(const std::string& stat_name, Histogram* h,
+                 const std::string& desc = "")
+    {
+        histograms_.emplace(stat_name, Entry<Histogram>{h, desc});
+    }
+
+    /** Register a derived value computed at dump time. */
+    void
+    addFormula(const std::string& stat_name, std::function<double()> fn,
+               const std::string& desc = "")
+    {
+        formulas_.emplace(stat_name, FormulaEntry{std::move(fn), desc});
+    }
+
+    /** Group name (prefix). */
+    const std::string& name() const { return name_; }
+
+    /**
+     * Value of a named scalar or formula.
+     * Panics if the name is unknown.
+     */
+    double
+    value(const std::string& stat_name) const
+    {
+        auto sit = scalars_.find(stat_name);
+        if (sit != scalars_.end())
+            return sit->second.stat->value();
+        auto fit = formulas_.find(stat_name);
+        if (fit != formulas_.end())
+            return fit->second.fn();
+        panic("unknown stat '%s.%s'", name_.c_str(), stat_name.c_str());
+    }
+
+    /** True if @p stat_name names a scalar or formula in this group. */
+    bool
+    has(const std::string& stat_name) const
+    {
+        return scalars_.count(stat_name) > 0 ||
+               formulas_.count(stat_name) > 0;
+    }
+
+    /** All scalar and formula values, keyed by stat name. */
+    std::map<std::string, double>
+    values() const
+    {
+        std::map<std::string, double> out;
+        for (const auto& [k, e] : scalars_)
+            out[k] = e.stat->value();
+        for (const auto& [k, e] : formulas_)
+            out[k] = e.fn();
+        return out;
+    }
+
+    /** Reset all registered scalars and histograms (formulas recompute). */
+    void
+    reset()
+    {
+        for (auto& [k, e] : scalars_)
+            e.stat->reset();
+        for (auto& [k, e] : histograms_)
+            e.stat->reset();
+    }
+
+    /** Render a human-readable dump of this group. */
+    void dump(std::ostream& os) const;
+
+  private:
+    template <typename T>
+    struct Entry
+    {
+        T* stat;
+        std::string desc;
+    };
+
+    struct FormulaEntry
+    {
+        std::function<double()> fn;
+        std::string desc;
+    };
+
+    std::string name_;
+    std::map<std::string, Entry<Scalar>> scalars_;
+    std::map<std::string, Entry<Histogram>> histograms_;
+    std::map<std::string, FormulaEntry> formulas_;
+};
+
+} // namespace stats
+} // namespace thynvm
+
+#endif // THYNVM_COMMON_STATS_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Configuration of the ThyNVM memory controller.
+ *
+ * Defaults reproduce the paper's evaluation setup (Table 2 and §5.1):
+ * 16 MB DRAM working region, 2048 BTT / 4096 PTT entries, 10 ms epochs,
+ * scheme-switch thresholds 22 (block to page) and 16 (page to block).
+ */
+
+#ifndef THYNVM_CORE_CONFIG_HH
+#define THYNVM_CORE_CONFIG_HH
+
+#include <cstddef>
+
+#include "common/types.hh"
+
+namespace thynvm {
+
+/**
+ * Checkpointing-scheme selection, for the granularity ablation
+ * (DESIGN.md §5 item 2 / Table 1 of the paper).
+ */
+enum class CheckpointMode
+{
+    Dual,      //!< adaptive block remapping + page writeback (ThyNVM)
+    BlockOnly, //!< uniform cache-block granularity (no page scheme)
+    PageOnly,  //!< uniform page granularity (promote on first store)
+};
+
+/**
+ * Static parameters of a ThyNVM controller instance.
+ */
+struct ThyNvmConfig
+{
+    /** Software-visible physical address space in bytes. */
+    std::size_t phys_size = 32u << 20;
+    /** Number of block translation table entries. */
+    std::size_t btt_entries = 2048;
+    /** Number of page translation table entries (= DRAM pages). */
+    std::size_t ptt_entries = 4096;
+    /** Epoch length (execution-phase timer). */
+    Tick epoch_length = 10 * kMillisecond;
+    /** Stores per page per epoch at/above which a page is promoted. */
+    unsigned promote_threshold = 22;
+    /** Stores per page per epoch below which a page is demoted. */
+    unsigned demote_threshold = 16;
+    /** BTT/PTT lookup latency (Table 2: 3 ns). */
+    Tick table_lookup_latency = 3 * kNanosecond;
+    /** Scheme selection mode (Dual = full ThyNVM). */
+    CheckpointMode mode = CheckpointMode::Dual;
+    /**
+     * When true, execution stalls for the whole checkpoint phase
+     * instead of overlapping with the next epoch (Figure 3a ablation).
+     */
+    bool stop_the_world = false;
+    /**
+     * BTT occupancy fraction above which idle entries whose committed
+     * copy sits in Checkpoint Region A are migrated back to the Home
+     * region during checkpointing (frees entries at commit).
+     */
+    double btt_gc_watermark = 0.75;
+    /** Maximum pages concurrently being written back (DMA depth). */
+    unsigned page_wb_parallelism = 4;
+    /** Reserved bytes for the CPU architectural-state blob. */
+    std::size_t cpu_state_max = 16384;
+    /**
+     * Capacity of the overflow buffer: sparse blocks that fit neither
+     * table (e.g., during an epoch-boundary cache flush that dirties
+     * more distinct blocks than the BTT can track) are staged in DRAM
+     * and checkpointed journal-style with the commit. Implementation
+     * extension over the paper, which leaves table overflow at "end
+     * the epoch early" (§4.3); see DESIGN.md.
+     */
+    std::size_t overflow_entries = 49152;
+    /**
+     * Execution-time stores stall (and force an epoch boundary) once
+     * this many overflow entries are live, reserving the remaining
+     * capacity for the epoch-boundary cache flush. This is the paper's
+     * overflow back-pressure (§4.3): execution is paced by checkpoint
+     * recycling when the write footprint outruns the tables.
+     */
+    std::size_t overflow_stall_watermark = 8192;
+
+    /** DRAM working-region bytes (pages + block buffer + overflow). */
+    std::size_t
+    dramSize() const
+    {
+        return ptt_entries * kPageSize +
+               (btt_entries + overflow_entries) * kBlockSize;
+    }
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_CORE_CONFIG_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * ThyNVM hardware address-space layout (paper §4.1, Figure 4).
+ *
+ * The memory controller's hardware address space is larger than the
+ * software-visible physical space. NVM holds the Home region (which
+ * doubles as Checkpoint Region B), Checkpoint Region A, and the
+ * BTT/PTT/CPU backup region; DRAM holds the Working Data region (page
+ * slots) plus a small block-buffer region used when block-remapped
+ * writes must be staged while the previous checkpoint is incomplete.
+ *
+ * The offset of a table entry equals the offset of its slot within the
+ * corresponding region (paper §4.2), so slot addresses are pure index
+ * arithmetic.
+ */
+
+#ifndef THYNVM_CORE_LAYOUT_HH
+#define THYNVM_CORE_LAYOUT_HH
+
+#include "common/logging.hh"
+#include "core/config.hh"
+
+namespace thynvm {
+
+/** Which NVM checkpoint region a slot lives in. */
+enum class CkptRegion : std::uint8_t
+{
+    A = 0, //!< dedicated checkpoint region
+    B = 1, //!< the Home region doubling as a checkpoint region
+};
+
+/** The region opposite @p r. */
+constexpr CkptRegion
+otherRegion(CkptRegion r)
+{
+    return r == CkptRegion::A ? CkptRegion::B : CkptRegion::A;
+}
+
+/**
+ * Address calculator for the ThyNVM hardware address space.
+ */
+class AddressLayout
+{
+  public:
+    explicit AddressLayout(const ThyNvmConfig& cfg) : cfg_(cfg)
+    {
+        fatal_if(cfg.phys_size % kPageSize != 0,
+                 "physical size must be page aligned");
+        home_base_ = 0;
+        ckpt_a_pages_base_ = cfg.phys_size;
+        ckpt_a_blocks_base_ =
+            ckpt_a_pages_base_ + cfg.ptt_entries * kPageSize;
+        backup_base_ = ckpt_a_blocks_base_ + cfg.btt_entries * kBlockSize;
+        btt_area_off_ = kBlockSize; // header occupies the first block
+        ptt_area_off_ = btt_area_off_ +
+                        roundUp(cfg.btt_entries * kEntryBytes, kBlockSize);
+        cpu_area_off_ = ptt_area_off_ +
+                        roundUp(cfg.ptt_entries * kEntryBytes, kBlockSize);
+        ovf_bitmap_off_ = cpu_area_off_ +
+                          roundUp(cfg.cpu_state_max, kBlockSize);
+        ovf_meta_off_ = ovf_bitmap_off_ +
+                        roundUp((cfg.overflow_entries + 7) / 8,
+                                kBlockSize);
+        ovf_data_off_ = ovf_meta_off_ +
+                        roundUp(cfg.overflow_entries * 8, kBlockSize);
+        backup_slot_size_ =
+            ovf_data_off_ + cfg.overflow_entries * kBlockSize;
+        nvm_size_ = backup_base_ + 2 * backup_slot_size_;
+
+        dram_pages_base_ = 0;
+        dram_blocks_base_ = cfg.ptt_entries * kPageSize;
+        dram_overflow_base_ =
+            dram_blocks_base_ + cfg.btt_entries * kBlockSize;
+        dram_size_ = dram_overflow_base_ +
+                     cfg.overflow_entries * kBlockSize;
+    }
+
+    /** Serialized bytes per BTT/PTT entry in the backup region. */
+    static constexpr std::size_t kEntryBytes = 16;
+
+    /** Total NVM device capacity required. */
+    std::size_t nvmSize() const { return nvm_size_; }
+    /** Total DRAM device capacity required. */
+    std::size_t dramSize() const { return dram_size_; }
+
+    /** Home-region NVM address of physical address @p paddr. */
+    Addr
+    homeAddr(Addr paddr) const
+    {
+        panic_if(paddr >= cfg_.phys_size, "paddr out of range");
+        return home_base_ + paddr;
+    }
+
+    /** NVM address of the Region A page slot for PTT entry @p idx. */
+    Addr
+    ckptAPageSlot(std::size_t idx) const
+    {
+        panic_if(idx >= cfg_.ptt_entries, "ptt index out of range");
+        return ckpt_a_pages_base_ + idx * kPageSize;
+    }
+
+    /** NVM address of the Region A block slot for BTT entry @p idx. */
+    Addr
+    ckptABlockSlot(std::size_t idx) const
+    {
+        panic_if(idx >= cfg_.btt_entries, "btt index out of range");
+        return ckpt_a_blocks_base_ + idx * kBlockSize;
+    }
+
+    /** DRAM address of the Working-region page slot @p idx. */
+    Addr
+    dramPageSlot(std::size_t idx) const
+    {
+        panic_if(idx >= cfg_.ptt_entries, "ptt index out of range");
+        return dram_pages_base_ + idx * kPageSize;
+    }
+
+    /** DRAM address of the block-buffer slot for BTT entry @p idx. */
+    Addr
+    dramBlockSlot(std::size_t idx) const
+    {
+        panic_if(idx >= cfg_.btt_entries, "btt index out of range");
+        return dram_blocks_base_ + idx * kBlockSize;
+    }
+
+    /** NVM base address of backup slot @p k (0 or 1). */
+    Addr
+    backupSlot(unsigned k) const
+    {
+        panic_if(k > 1, "backup slot index out of range");
+        return backup_base_ + k * backup_slot_size_;
+    }
+
+    /** Size of one backup slot in bytes (block-aligned). */
+    std::size_t backupSlotSize() const { return backup_slot_size_; }
+
+    /** Block-aligned offset of the BTT image within a backup slot. */
+    Addr bttAreaOffset() const { return btt_area_off_; }
+    /** Block-aligned offset of the PTT image within a backup slot. */
+    Addr pttAreaOffset() const { return ptt_area_off_; }
+    /** Block-aligned offset of the CPU state within a backup slot. */
+    Addr cpuAreaOffset() const { return cpu_area_off_; }
+    /** Offset of the overflow live-slot bitmap within a backup slot. */
+    Addr overflowBitmapOffset() const { return ovf_bitmap_off_; }
+    /** Offset of the overflow-log address table within a backup slot. */
+    Addr overflowMetaOffset() const { return ovf_meta_off_; }
+    /** Offset of the overflow-log data blocks within a backup slot. */
+    Addr overflowDataOffset() const { return ovf_data_off_; }
+
+    /** DRAM address of overflow-buffer slot @p idx. */
+    Addr
+    dramOverflowSlot(std::size_t idx) const
+    {
+        panic_if(idx >= cfg_.overflow_entries,
+                 "overflow index out of range");
+        return dram_overflow_base_ + idx * kBlockSize;
+    }
+
+    /**
+     * NVM block-slot address for BTT entry @p idx in region @p r;
+     * region B is the block's home location.
+     */
+    Addr
+    blockSlot(CkptRegion r, std::size_t idx, Addr paddr) const
+    {
+        return r == CkptRegion::A ? ckptABlockSlot(idx)
+                                  : homeAddr(blockAlign(paddr));
+    }
+
+    /**
+     * NVM page-slot address for PTT entry @p idx in region @p r;
+     * region B is the page's home location.
+     */
+    Addr
+    pageSlot(CkptRegion r, std::size_t idx, Addr page_paddr) const
+    {
+        panic_if(page_paddr % kPageSize != 0, "unaligned page address");
+        return r == CkptRegion::A ? ckptAPageSlot(idx)
+                                  : homeAddr(page_paddr);
+    }
+
+  private:
+    ThyNvmConfig cfg_;
+    Addr home_base_;
+    Addr ckpt_a_pages_base_;
+    Addr ckpt_a_blocks_base_;
+    Addr backup_base_;
+    Addr btt_area_off_;
+    Addr ptt_area_off_;
+    Addr cpu_area_off_;
+    Addr ovf_bitmap_off_;
+    Addr ovf_meta_off_;
+    Addr ovf_data_off_;
+    std::size_t backup_slot_size_;
+    std::size_t nvm_size_;
+    Addr dram_pages_base_;
+    Addr dram_blocks_base_;
+    Addr dram_overflow_base_;
+    std::size_t dram_size_;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_CORE_LAYOUT_HH

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * The Block Translation Table (BTT) and Page Translation Table (PTT).
+ *
+ * Each entry tracks one physical block/page that is "subject to
+ * checkpointing" (updated in one of the last epochs, paper §4.1). The
+ * implementation keeps richer per-entry state than the compressed
+ * hardware encoding of Figure 5, but the information content matches:
+ * version presence, visible location, checkpoint region of the last
+ * committed copy, and the per-epoch store counter used for scheme
+ * switching.
+ *
+ * Entry index doubles as slot index in the corresponding memory regions
+ * (paper §4.2): BTT entry i owns Checkpoint-Region-A block slot i and
+ * DRAM block-buffer slot i; PTT entry i owns Region-A page slot i and
+ * DRAM page slot i.
+ */
+
+#ifndef THYNVM_CORE_TABLES_HH
+#define THYNVM_CORE_TABLES_HH
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/layout.hh"
+
+namespace thynvm {
+
+/** Where the active working copy of a block currently lives. */
+enum class WactiveLoc : std::uint8_t
+{
+    None,    //!< no working copy; last checkpoint is the visible version
+    Nvm,     //!< remapped in-place in NVM (block remapping fast path)
+    DramBuf, //!< staged in the DRAM block buffer (previous checkpoint
+             //!< incomplete, or page-writeback cooperation diversion)
+};
+
+/**
+ * BTT entry: one tracked cache block.
+ */
+struct BttEntry
+{
+    /** Block-aligned physical address; kInvalidAddr marks a free entry. */
+    Addr block_paddr = kInvalidAddr;
+    /** NVM region holding the last *committed* checkpoint copy. */
+    CkptRegion committed = CkptRegion::B;
+    /** A version from the last epoch is being committed right now. */
+    bool pending = false;
+    /** Region of the in-flight checkpoint copy (valid when pending). */
+    CkptRegion pending_slot = CkptRegion::A;
+    /** Working-copy location for the active epoch. */
+    WactiveLoc wactive = WactiveLoc::None;
+    /** Region of the NVM working copy (valid when wactive == Nvm). */
+    CkptRegion wactive_slot = CkptRegion::A;
+    /**
+     * Page-overlay entry: holds a store diverted from a page whose
+     * writeback is in flight (§3.4 cooperation). Never serialized; data
+     * lives only in the DRAM block buffer until merged into the page.
+     */
+    bool overlay = false;
+    /** Entry is reclaimed when the current checkpoint commits. */
+    bool free_at_commit = false;
+    /** A-to-Home migration of the committed copy is scheduled. */
+    bool migrating_home = false;
+    /** Entry data was absorbed into a promoted page. */
+    bool absorbed = false;
+    /** Stores to this block in the current epoch. */
+    std::uint32_t store_count = 0;
+};
+
+/**
+ * PTT entry: one tracked page, cached in the DRAM working region.
+ */
+struct PttEntry
+{
+    /** Page-aligned physical address; kInvalidAddr marks a free entry. */
+    Addr page_paddr = kInvalidAddr;
+    /** NVM region holding the last committed checkpoint of the page. */
+    CkptRegion committed = CkptRegion::B;
+    /**
+     * False until the page's first checkpoint commits; before that the
+     * recovery image of its data is still described by the BTT/Home.
+     */
+    bool ever_committed = false;
+    /** A checkpoint copy of this page is being committed right now. */
+    bool pending = false;
+    /** Region of the in-flight checkpoint copy (valid when pending). */
+    CkptRegion pending_slot = CkptRegion::A;
+    /** DRAM working copy differs from the last committed image. */
+    bool dirty = false;
+    /** Checkpoint DMA is reading the DRAM page; stores are diverted. */
+    bool wb_in_flight = false;
+    /** Page leaves the PTT when the current checkpoint commits. */
+    bool demoting = false;
+    /** Stores to this page in the current epoch. */
+    std::uint32_t store_count = 0;
+    /** BTT entries absorbed at promotion, freed at first commit. */
+    std::vector<std::size_t> absorbed_btt;
+};
+
+/**
+ * Fixed-capacity translation table with address lookup and a free list.
+ */
+template <typename EntryT>
+class TranslationTable
+{
+  public:
+    explicit TranslationTable(std::size_t capacity)
+        : entries_(capacity)
+    {
+        free_list_.reserve(capacity);
+        for (std::size_t i = capacity; i-- > 0;)
+            free_list_.push_back(i);
+    }
+
+    /** Table capacity in entries. */
+    std::size_t capacity() const { return entries_.size(); }
+    /** Number of live entries. */
+    std::size_t live() const { return map_.size(); }
+    /** True if no free entry remains. */
+    bool full() const { return free_list_.empty(); }
+
+    /** Index of the entry tagged @p paddr, or npos. */
+    std::size_t
+    lookup(Addr paddr) const
+    {
+        auto it = map_.find(paddr);
+        return it == map_.end() ? npos : it->second;
+    }
+
+    /**
+     * Allocate the specific entry index @p idx for @p paddr. Used by
+     * crash recovery, where slot addressing requires entries to return
+     * to their original indices. The slot must be free.
+     */
+    std::size_t
+    allocateAt(std::size_t idx, Addr paddr)
+    {
+        panic_if(map_.count(paddr) != 0, "duplicate table entry");
+        EntryT& e = at(idx);
+        panic_if(tagOf(e) != kInvalidAddr, "allocateAt on occupied slot");
+        auto it = std::find(free_list_.begin(), free_list_.end(), idx);
+        panic_if(it == free_list_.end(), "slot missing from free list");
+        free_list_.erase(it);
+        e = EntryT{};
+        tagOf(e) = paddr;
+        map_.emplace(paddr, idx);
+        return idx;
+    }
+
+    /** Allocate an entry for @p paddr. Returns npos if full. */
+    std::size_t
+    allocate(Addr paddr)
+    {
+        panic_if(map_.count(paddr) != 0, "duplicate table entry");
+        if (free_list_.empty())
+            return npos;
+        std::size_t idx = free_list_.back();
+        free_list_.pop_back();
+        entries_[idx] = EntryT{};
+        tagOf(entries_[idx]) = paddr;
+        map_.emplace(paddr, idx);
+        return idx;
+    }
+
+    /** Free entry @p idx. */
+    void
+    release(std::size_t idx)
+    {
+        EntryT& e = at(idx);
+        panic_if(tagOf(e) == kInvalidAddr, "freeing a free entry");
+        map_.erase(tagOf(e));
+        e = EntryT{};
+        free_list_.push_back(idx);
+    }
+
+    /** Entry at @p idx (must be a valid index). */
+    EntryT&
+    at(std::size_t idx)
+    {
+        panic_if(idx >= entries_.size(), "table index out of range");
+        return entries_[idx];
+    }
+
+    const EntryT&
+    at(std::size_t idx) const
+    {
+        panic_if(idx >= entries_.size(), "table index out of range");
+        return entries_[idx];
+    }
+
+    /** Invoke @p fn(index, entry) for every live entry. */
+    template <typename Fn>
+    void
+    forEachLive(Fn&& fn)
+    {
+        for (auto& [paddr, idx] : map_)
+            fn(idx, entries_[idx]);
+    }
+
+    /** Drop all entries (volatile table lost at power failure). */
+    void
+    clear()
+    {
+        map_.clear();
+        free_list_.clear();
+        for (std::size_t i = entries_.size(); i-- > 0;) {
+            entries_[i] = EntryT{};
+            free_list_.push_back(i);
+        }
+    }
+
+    /** Invalid index sentinel. */
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  private:
+    static Addr& tagOf(BttEntry& e) { return e.block_paddr; }
+    static Addr& tagOf(PttEntry& e) { return e.page_paddr; }
+
+    std::vector<EntryT> entries_;
+    std::unordered_map<Addr, std::size_t> map_;
+    std::vector<std::size_t> free_list_;
+};
+
+using Btt = TranslationTable<BttEntry>;
+using Ptt = TranslationTable<PttEntry>;
+
+/**
+ * Fixed 16-byte on-NVM encoding of a committed table entry: the tag
+ * address and the checkpoint region of the committed copy. Only
+ * committed mappings are persisted; working-copy locations are volatile
+ * and never needed for recovery.
+ */
+struct SerializedEntry
+{
+    std::uint64_t tag;
+    std::uint8_t region;
+    std::uint8_t pad[7];
+};
+static_assert(sizeof(SerializedEntry) == AddressLayout::kEntryBytes);
+
+} // namespace thynvm
+
+#endif // THYNVM_CORE_TABLES_HH

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * TraceCpu implementation.
+ */
+
+#include "cpu/cpu.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace thynvm {
+
+TraceCpu::TraceCpu(EventQueue& eq, std::string name, const Params& params,
+                   BlockAccessor& mem, Workload& workload)
+    : SimObject(eq, std::move(name)),
+      params_(params),
+      mem_(mem),
+      workload_(workload)
+{
+    op_buf_.resize(params_.max_op_bytes);
+    stats().addScalar("instructions", &instructions_,
+                      "instructions retired");
+    stats().addScalar("loads", &loads_, "load operations executed");
+    stats().addScalar("stores", &stores_, "store operations executed");
+    stats().addScalar("mem_stall_time", &mem_stall_time_,
+                      "ticks stalled on memory");
+    stats().addScalar("paused_time", &paused_time_,
+                      "ticks paused for checkpoint flushes");
+}
+
+void
+TraceCpu::start()
+{
+    panic_if(started_, "CPU started twice");
+    started_ = true;
+    eventq_.scheduleIn(0, [this] { step(); });
+}
+
+void
+TraceCpu::step()
+{
+    if (paused_) {
+        // Park; resume() will restart the pipeline.
+        busy_ = false;
+        return;
+    }
+    if (finished_)
+        return;
+
+    if (!workload_.next(cur_op_)) {
+        finished_ = true;
+        busy_ = false;
+        if (on_finished_)
+            on_finished_();
+        return;
+    }
+
+    switch (cur_op_.kind) {
+      case WorkOp::Kind::Compute: {
+        busy_ = true;
+        instructions_ += static_cast<double>(cur_op_.count);
+        eventq_.scheduleIn(cur_op_.count * params_.cycle_period,
+                           [this] { opComplete(); });
+        return;
+      }
+      case WorkOp::Kind::Load:
+      case WorkOp::Kind::Store: {
+        panic_if(cur_op_.size == 0 || cur_op_.size > params_.max_op_bytes,
+                 "memory op size %u out of range", cur_op_.size);
+        panic_if(cur_op_.kind == WorkOp::Kind::Store &&
+                     cur_op_.data == nullptr,
+                 "store op without payload");
+        busy_ = true;
+        op_offset_ = 0;
+        op_issue_tick_ = curTick();
+        if (cur_op_.kind == WorkOp::Kind::Load)
+            ++loads_;
+        else
+            ++stores_;
+        issueNextPiece();
+        return;
+      }
+    }
+    panic("unhandled op kind");
+}
+
+void
+TraceCpu::issueNextPiece()
+{
+    if (op_offset_ >= cur_op_.size) {
+        // Memory op complete.
+        if (cur_op_.kind == WorkOp::Kind::Load)
+            workload_.deliver(op_buf_.data(), cur_op_.size);
+        instructions_ += 1.0;
+        mem_stall_time_ +=
+            static_cast<double>(curTick() - op_issue_tick_);
+        opComplete();
+        return;
+    }
+
+    const Addr byte_addr = cur_op_.addr + op_offset_;
+    const Addr block_addr = blockAlign(byte_addr);
+    const std::uint32_t in_block =
+        static_cast<std::uint32_t>(byte_addr - block_addr);
+    const std::uint32_t chunk = std::min<std::uint32_t>(
+        cur_op_.size - op_offset_,
+        static_cast<std::uint32_t>(kBlockSize) - in_block);
+
+    if (cur_op_.kind == WorkOp::Kind::Load) {
+        // Read the block; data lands functionally at call time.
+        mem_.accessBlock(block_addr, false, nullptr, block_buf_.data(),
+                         TrafficSource::DemandRead,
+                         [this] { issueNextPiece(); });
+        std::memcpy(op_buf_.data() + op_offset_,
+                    block_buf_.data() + in_block, chunk);
+        op_offset_ += chunk;
+        return;
+    }
+
+    // Store: full-block pieces write directly; partial pieces perform a
+    // read-modify-write (the write-allocate fill).
+    if (chunk == kBlockSize) {
+        mem_.accessBlock(block_addr, true, cur_op_.data + op_offset_,
+                         nullptr, TrafficSource::CpuWriteback,
+                         [this] { issueNextPiece(); });
+        op_offset_ += chunk;
+        return;
+    }
+
+    const std::uint32_t offset_snapshot = op_offset_;
+    mem_.accessBlock(
+        block_addr, false, nullptr, block_buf_.data(),
+        TrafficSource::DemandRead,
+        [this, block_addr, in_block, chunk, offset_snapshot] {
+            // Timing of the merge write chains after the fill.
+            std::array<std::uint8_t, kBlockSize> merged = block_buf_;
+            std::memcpy(merged.data() + in_block,
+                        cur_op_.data + offset_snapshot, chunk);
+            mem_.accessBlock(block_addr, true, merged.data(), nullptr,
+                             TrafficSource::CpuWriteback,
+                             [this] { issueNextPiece(); });
+        });
+    op_offset_ += chunk;
+}
+
+void
+TraceCpu::opComplete()
+{
+    busy_ = false;
+    if (paused_) {
+        if (pause_cb_) {
+            auto cb = std::move(pause_cb_);
+            pause_cb_ = nullptr;
+            pause_start_ = curTick();
+            cb();
+        }
+        return;
+    }
+    eventq_.scheduleIn(params_.cycle_period, [this] { step(); });
+}
+
+void
+TraceCpu::pause(std::function<void()> on_paused)
+{
+    panic_if(paused_, "nested CPU pause");
+    paused_ = true;
+    if (busy_) {
+        pause_cb_ = std::move(on_paused);
+    } else {
+        pause_start_ = curTick();
+        eventq_.scheduleIn(0, std::move(on_paused));
+    }
+}
+
+void
+TraceCpu::resume()
+{
+    panic_if(!paused_, "resume without pause");
+    paused_ = false;
+    paused_time_ += static_cast<double>(curTick() - pause_start_);
+    if (!busy_ && !finished_)
+        eventq_.scheduleIn(params_.cycle_period, [this] { step(); });
+}
+
+std::vector<std::uint8_t>
+TraceCpu::archState() const
+{
+    std::vector<std::uint8_t> wl = workload_.snapshot();
+    std::vector<std::uint8_t> blob(16 + wl.size());
+    const std::uint64_t insts = instructions();
+    const std::uint64_t wl_size = wl.size();
+    std::memcpy(blob.data(), &insts, 8);
+    std::memcpy(blob.data() + 8, &wl_size, 8);
+    std::memcpy(blob.data() + 16, wl.data(), wl.size());
+    return blob;
+}
+
+void
+TraceCpu::restoreArchState(const std::vector<std::uint8_t>& blob)
+{
+    panic_if(blob.size() < 16, "short CPU state blob");
+    std::uint64_t insts = 0;
+    std::uint64_t wl_size = 0;
+    std::memcpy(&insts, blob.data(), 8);
+    std::memcpy(&wl_size, blob.data() + 8, 8);
+    panic_if(blob.size() != 16 + wl_size, "corrupt CPU state blob");
+    instructions_ = static_cast<double>(insts);
+    workload_.restore(std::vector<std::uint8_t>(blob.begin() + 16,
+                                                blob.end()));
+    finished_ = false;
+    busy_ = false;
+    paused_ = false;
+}
+
+} // namespace thynvm

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * In-order blocking CPU model.
+ *
+ * Matches the paper's processor configuration: a 3 GHz in-order core.
+ * Non-memory instructions retire at one per cycle; memory operations
+ * block until the cache hierarchy completes them. The core can be paused
+ * for checkpoint flushes and snapshots/restores its architectural state
+ * (which includes the workload generator state) across crashes.
+ */
+
+#ifndef THYNVM_CPU_CPU_HH
+#define THYNVM_CPU_CPU_HH
+
+#include <vector>
+
+#include "cpu/workload.hh"
+#include "mem/block_accessor.hh"
+#include "sim/sim_object.hh"
+
+namespace thynvm {
+
+/**
+ * A trace/generator-driven in-order core.
+ */
+class TraceCpu : public SimObject
+{
+  public:
+    /** CPU configuration. */
+    struct Params
+    {
+        /** Cycle time; 333 ps approximates 3 GHz. */
+        Tick cycle_period = 333;
+        /** Largest single memory operation the core will split. */
+        std::uint32_t max_op_bytes = 8192;
+    };
+
+    TraceCpu(EventQueue& eq, std::string name, const Params& params,
+             BlockAccessor& mem, Workload& workload);
+
+    /** Begin executing the workload. */
+    void start();
+
+    /** True once the workload's op stream is exhausted. */
+    bool finished() const { return finished_; }
+
+    /** Instructions retired so far. */
+    std::uint64_t instructions() const
+    {
+        return static_cast<std::uint64_t>(instructions_.value());
+    }
+
+    /** Total ticks spent waiting on memory operations. */
+    Tick memStallTime() const
+    {
+        return static_cast<Tick>(mem_stall_time_.value());
+    }
+
+    /**
+     * Pause the core at the next instruction boundary (used by the
+     * checkpoint flush). @p on_paused fires once the core is idle.
+     */
+    void pause(std::function<void()> on_paused);
+
+    /** Resume after pause(). */
+    void resume();
+
+    /** Ticks the core has spent paused for checkpoint flushes. */
+    Tick pausedTime() const
+    {
+        return static_cast<Tick>(paused_time_.value());
+    }
+
+    /**
+     * Architectural state blob: registers are abstracted as the retired
+     * instruction count plus the workload generator snapshot.
+     */
+    std::vector<std::uint8_t> archState() const;
+
+    /** Restore state saved by archState() (post-recovery resume). */
+    void restoreArchState(const std::vector<std::uint8_t>& blob);
+
+    /** Register a callback fired when the workload finishes. */
+    void setFinishedCallback(std::function<void()> cb)
+    {
+        on_finished_ = std::move(cb);
+    }
+
+  private:
+    /** Fetch and begin the next operation. */
+    void step();
+    /** Finish the current op and continue (or honor a pending pause). */
+    void opComplete();
+    /** Issue the next block-granularity piece of the current memory op. */
+    void issueNextPiece();
+
+    Params params_;
+    BlockAccessor& mem_;
+    Workload& workload_;
+
+    bool started_ = false;
+    bool finished_ = false;
+    bool busy_ = false;   //!< an op is in flight
+    bool paused_ = false;
+    std::function<void()> pause_cb_;
+    std::function<void()> on_finished_;
+    Tick pause_start_ = 0;
+
+    // Current memory op state.
+    WorkOp cur_op_;
+    std::uint32_t op_offset_ = 0;
+    Tick op_issue_tick_ = 0;
+    std::vector<std::uint8_t> op_buf_;
+    std::array<std::uint8_t, kBlockSize> block_buf_{};
+
+    stats::Scalar instructions_;
+    stats::Scalar loads_;
+    stats::Scalar stores_;
+    stats::Scalar mem_stall_time_;
+    stats::Scalar paused_time_;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_CPU_CPU_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Interface between the CPU model and workload generators.
+ *
+ * A Workload produces a stream of operations (compute bursts, loads,
+ * stores). Loads return data to the workload, so data-dependent
+ * workloads (e.g., the key-value stores that live entirely in simulated
+ * memory) are expressible. Workload-internal generator state (RNG,
+ * counters) is part of the CPU architectural state for checkpointing:
+ * snapshot()/restore() let a recovered system resume from the epoch
+ * boundary exactly as the paper's model requires.
+ */
+
+#ifndef THYNVM_CPU_WORKLOAD_HH
+#define THYNVM_CPU_WORKLOAD_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace thynvm {
+
+class MemController;
+
+/**
+ * Zero-time byte-range read of the current architectural memory state
+ * (through the cache hierarchy). Wired by the System.
+ */
+using FunctionalView =
+    std::function<void(Addr addr, void* buf, std::size_t len)>;
+
+/**
+ * One operation produced by a workload.
+ */
+struct WorkOp
+{
+    enum class Kind : std::uint8_t
+    {
+        Compute, //!< @c count instructions of non-memory work
+        Load,    //!< read @c size bytes at @c addr
+        Store,   //!< write @c size bytes at @c addr from @c data
+    };
+
+    Kind kind = Kind::Compute;
+    /** Instruction count for Compute ops. */
+    std::uint64_t count = 1;
+    /** Physical byte address for Load/Store. */
+    Addr addr = 0;
+    /** Access size in bytes for Load/Store (may span blocks). */
+    std::uint32_t size = 0;
+    /** Store payload; must stay valid until the op completes. */
+    const std::uint8_t* data = nullptr;
+};
+
+/**
+ * A generator of CPU operations.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /**
+     * Called once before execution begins; typically installs the
+     * workload's initial heap image via MemController::loadImage().
+     */
+    virtual void init(MemController& mem) { (void)mem; }
+
+    /**
+     * Produce the next operation into @p op.
+     * @return false when the workload has finished.
+     */
+    virtual bool next(WorkOp& op) = 0;
+
+    /** Deliver the bytes read by the most recent Load op. */
+    virtual void deliver(const std::uint8_t* data, std::size_t len)
+    {
+        (void)data;
+        (void)len;
+    }
+
+    /**
+     * Serialize generator state (RNG, counters) for CPU-state
+     * checkpointing. Data living in simulated memory is *not* included;
+     * the memory system checkpoints it.
+     */
+    virtual std::vector<std::uint8_t> snapshot() const { return {}; }
+
+    /** Restore generator state saved by snapshot(). */
+    virtual void restore(const std::vector<std::uint8_t>& blob)
+    {
+        (void)blob;
+    }
+
+    /**
+     * Install the functional memory view (set by the System before
+     * execution). Data-dependent workloads use it to plan operations.
+     */
+    void setFunctionalView(FunctionalView view)
+    {
+        fview_ = std::move(view);
+    }
+
+  protected:
+    FunctionalView fview_;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_CPU_WORKLOAD_HH

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * System implementation.
+ */
+
+#include "harness/system.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace thynvm {
+
+const char*
+systemKindName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::IdealDram: return "Ideal DRAM";
+      case SystemKind::IdealNvm: return "Ideal NVM";
+      case SystemKind::Journal: return "Journal";
+      case SystemKind::Shadow: return "Shadow";
+      case SystemKind::ThyNvm: return "ThyNVM";
+    }
+    return "unknown";
+}
+
+System::System(const SystemConfig& cfg, Workload& workload,
+               std::shared_ptr<BackingStore> nvm_store)
+    : cfg_(cfg), workload_(workload)
+{
+    switch (cfg_.kind) {
+      case SystemKind::IdealDram:
+        controller_ = std::make_unique<IdealController>(
+            eq_, "sys.ctrl", cfg_.phys_size, true, std::move(nvm_store));
+        break;
+      case SystemKind::IdealNvm:
+        controller_ = std::make_unique<IdealController>(
+            eq_, "sys.ctrl", cfg_.phys_size, false, std::move(nvm_store));
+        break;
+      case SystemKind::Journal: {
+        JournalConfig jc;
+        jc.phys_size = cfg_.phys_size;
+        jc.epoch_length = cfg_.epoch_length;
+        jc.table_entries =
+            cfg_.thynvm.btt_entries + cfg_.thynvm.ptt_entries;
+        auto ctrl = std::make_unique<JournalController>(
+            eq_, "sys.ctrl", jc, std::move(nvm_store));
+        ctrl->setResumeClient([this] { cpu_->resume(); });
+        controller_ = std::move(ctrl);
+        break;
+      }
+      case SystemKind::Shadow: {
+        ShadowConfig sc;
+        sc.phys_size = cfg_.phys_size;
+        sc.epoch_length = cfg_.epoch_length;
+        sc.dram_size = cfg_.thynvm.dramSize();
+        auto ctrl = std::make_unique<ShadowController>(
+            eq_, "sys.ctrl", sc, std::move(nvm_store));
+        ctrl->setResumeClient([this] { cpu_->resume(); });
+        controller_ = std::move(ctrl);
+        break;
+      }
+      case SystemKind::ThyNvm: {
+        ThyNvmConfig tc = cfg_.thynvm;
+        tc.phys_size = cfg_.phys_size;
+        tc.epoch_length = cfg_.epoch_length;
+        auto ctrl = std::make_unique<ThyNvmController>(
+            eq_, "sys.ctrl", tc, std::move(nvm_store));
+        ctrl->setResumeClient([this] { cpu_->resume(); });
+        controller_ = std::move(ctrl);
+        break;
+      }
+    }
+
+    BlockAccessor* below = controller_.get();
+    if (cfg_.use_caches) {
+        l3_ = std::make_unique<Cache>(eq_, "sys.l3", cfg_.l3, *below);
+        l2_ = std::make_unique<Cache>(eq_, "sys.l2", cfg_.l2, *l3_);
+        l1_ = std::make_unique<Cache>(eq_, "sys.l1", cfg_.l1, *l2_);
+        below = l1_.get();
+    }
+    cpu_ = std::make_unique<TraceCpu>(eq_, "sys.cpu", cfg_.cpu, *below,
+                                      workload_);
+    wireFlushClient();
+}
+
+void
+System::wireFlushClient()
+{
+    controller_->setFlushClient([this](std::function<void()> done) {
+        cpu_->pause([this, done = std::move(done)]() mutable {
+            flushCaches([this, done = std::move(done)]() mutable {
+                controller_->persistCpuState(cpu_->archState());
+                done();
+            });
+        });
+    });
+}
+
+void
+System::flushCaches(std::function<void()> done)
+{
+    if (!cfg_.use_caches) {
+        eq_.scheduleIn(0, std::move(done));
+        return;
+    }
+    // Flush levels top-down so dirty data trickles into the controller.
+    l1_->flushDirty([this, done = std::move(done)]() mutable {
+        l2_->flushDirty([this, done = std::move(done)]() mutable {
+            l3_->flushDirty(std::move(done));
+        });
+    });
+}
+
+FunctionalView
+System::functionalView()
+{
+    BlockAccessor* top =
+        cfg_.use_caches ? static_cast<BlockAccessor*>(l1_.get())
+                        : static_cast<BlockAccessor*>(controller_.get());
+    return [top](Addr addr, void* buf, std::size_t len) {
+        auto* out = static_cast<std::uint8_t*>(buf);
+        std::size_t remaining = len;
+        Addr a = addr;
+        while (remaining > 0) {
+            const Addr block = blockAlign(a);
+            const std::size_t in_block = a - block;
+            const std::size_t chunk =
+                std::min(remaining, kBlockSize - in_block);
+            std::uint8_t tmp[kBlockSize];
+            top->functionalReadBlock(block, tmp);
+            std::memcpy(out, tmp + in_block, chunk);
+            out += chunk;
+            a += chunk;
+            remaining -= chunk;
+        }
+    };
+}
+
+void
+System::start()
+{
+    workload_.setFunctionalView(functionalView());
+    workload_.init(*controller_);
+    start_tick_ = eq_.now();
+    controller_->start();
+    cpu_->start();
+}
+
+void
+System::recoverAndResume()
+{
+    workload_.setFunctionalView(functionalView());
+    bool recovered = false;
+    controller_->recover([&recovered] { recovered = true; });
+    eq_.runUntil([&recovered] { return recovered; });
+
+    const auto& blob = controller_->recoveredCpuState();
+    if (!blob.empty())
+        cpu_->restoreArchState(blob);
+    start_tick_ = eq_.now();
+    controller_->start();
+    cpu_->start();
+}
+
+Tick
+System::run(Tick duration)
+{
+    const Tick limit =
+        duration == kMaxTick ? kMaxTick : eq_.now() + duration;
+    while (!cpu_->finished() && eq_.now() < limit && !eq_.empty())
+        eq_.step();
+    return eq_.now();
+}
+
+std::shared_ptr<BackingStore>
+System::crash()
+{
+    auto nvm = controller_->nvmStoreHandle();
+    controller_->crash();
+    if (cfg_.use_caches) {
+        l1_->invalidateAll();
+        l2_->invalidateAll();
+        l3_->invalidateAll();
+    }
+    eq_.clear();
+    return nvm;
+}
+
+RunMetrics
+System::metrics() const
+{
+    RunMetrics m;
+    m.exec_time = eq_.now() - start_tick_;
+    m.instructions = cpu_->instructions();
+    const double cycles = static_cast<double>(m.exec_time) /
+                          static_cast<double>(cfg_.cpu.cycle_period);
+    m.ipc = cycles > 0 ? static_cast<double>(m.instructions) / cycles
+                       : 0.0;
+
+    // NVM traffic: for Ideal DRAM there is no NVM device; Figure 10
+    // then reports DRAM write bandwidth instead.
+    auto* ctrl = const_cast<MemController*>(controller_.get());
+    if (MemDevice* nvm = ctrl->nvmDevice()) {
+        m.nvm_wr_cpu = nvm->writeBytes(TrafficSource::CpuWriteback) +
+                       nvm->writeBytes(TrafficSource::DemandRead);
+        m.nvm_wr_ckpt = nvm->writeBytes(TrafficSource::Checkpoint);
+        m.nvm_wr_migration = nvm->writeBytes(TrafficSource::Migration);
+        m.nvm_wr_total = nvm->totalWriteBytes();
+    }
+    if (MemDevice* dram = ctrl->dramDevice())
+        m.dram_wr_total = dram->totalWriteBytes();
+
+    m.ckpt_time_frac =
+        m.exec_time > 0
+            ? static_cast<double>(ctrl->checkpointStallTime()) /
+                  static_cast<double>(m.exec_time)
+            : 0.0;
+    m.epochs = ctrl->completedEpochs();
+    return m;
+}
+
+} // namespace thynvm

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Full-system assembly: CPU + cache hierarchy + one of the five
+ * evaluated memory controllers, wired per Table 2 of the paper.
+ *
+ * The System also orchestrates power failures: crash() discards all
+ * volatile state and hands back the surviving NVM contents; a new
+ * System built around those contents calls recoverAndResume() to roll
+ * back to the last checkpoint and continue execution, exactly like a
+ * machine rebooting after power loss.
+ */
+
+#ifndef THYNVM_HARNESS_SYSTEM_HH
+#define THYNVM_HARNESS_SYSTEM_HH
+
+#include <memory>
+
+#include "baselines/ideal.hh"
+#include "baselines/journal.hh"
+#include "baselines/shadow.hh"
+#include "cache/cache.hh"
+#include "core/thynvm_controller.hh"
+#include "cpu/cpu.hh"
+
+namespace thynvm {
+
+/** Which of the paper's five evaluated systems to build (§5.1). */
+enum class SystemKind
+{
+    IdealDram,
+    IdealNvm,
+    Journal,
+    Shadow,
+    ThyNvm,
+};
+
+/** Human-readable system name as used in the paper's figures. */
+const char* systemKindName(SystemKind kind);
+
+/**
+ * Configuration of a full system instance.
+ */
+struct SystemConfig
+{
+    SystemKind kind = SystemKind::ThyNvm;
+    /** Software-visible physical address space. */
+    std::size_t phys_size = 32u << 20;
+    /** Epoch length for checkpointing systems. */
+    Tick epoch_length = 10 * kMillisecond;
+    /** Include the 3-level cache hierarchy (Table 2). */
+    bool use_caches = true;
+
+    /** ThyNVM-specific knobs (phys_size/epoch_length are copied in). */
+    ThyNvmConfig thynvm;
+
+    TraceCpu::Params cpu;
+    Cache::Params l1{32 * 1024, 8, 4 * 333};
+    Cache::Params l2{256 * 1024, 8, 12 * 333};
+    Cache::Params l3{2 * 1024 * 1024, 16, 28 * 333};
+};
+
+/**
+ * Aggregated end-of-run measurements used by the benchmarks.
+ */
+struct RunMetrics
+{
+    Tick exec_time = 0;
+    std::uint64_t instructions = 0;
+    double ipc = 0.0;
+    std::uint64_t nvm_wr_cpu = 0;
+    std::uint64_t nvm_wr_ckpt = 0;
+    std::uint64_t nvm_wr_migration = 0;
+    std::uint64_t nvm_wr_total = 0;
+    /** DRAM write bytes (the "write bandwidth" metric for Ideal DRAM). */
+    std::uint64_t dram_wr_total = 0;
+    double ckpt_time_frac = 0.0;
+    std::uint64_t epochs = 0;
+};
+
+/**
+ * One simulated machine.
+ */
+class System
+{
+  public:
+    /**
+     * @param cfg configuration.
+     * @param workload generator driven by the CPU (not owned).
+     * @param nvm_store surviving NVM contents for a post-crash reboot,
+     *        or nullptr for a pristine machine.
+     */
+    System(const SystemConfig& cfg, Workload& workload,
+           std::shared_ptr<BackingStore> nvm_store = nullptr);
+
+    /** Initialize the workload image and begin execution at tick 0. */
+    void start();
+
+    /**
+     * Post-crash boot: run timed recovery, restore the CPU and
+     * workload from the recovered architectural state, and resume.
+     */
+    void recoverAndResume();
+
+    /**
+     * Advance simulation until the workload finishes or @p duration
+     * ticks elapse. @return current tick.
+     */
+    Tick run(Tick duration = kMaxTick);
+
+    /** True once the workload finished. */
+    bool finished() const { return cpu_->finished(); }
+
+    /**
+     * Power failure: all volatile state is lost. Returns the surviving
+     * NVM contents for rebuilding a System. This System must not be
+     * used afterwards (except for inspection of stats).
+     */
+    std::shared_ptr<BackingStore> crash();
+
+    /** Zero-time read of current architectural memory (via caches). */
+    FunctionalView functionalView();
+
+    /** Collected measurements since start. */
+    RunMetrics metrics() const;
+
+    EventQueue& eventq() { return eq_; }
+    TraceCpu& cpu() { return *cpu_; }
+    MemController& controller() { return *controller_; }
+    Workload& workload() { return workload_; }
+    const SystemConfig& config() const { return cfg_; }
+
+  private:
+    void wireFlushClient();
+    void flushCaches(std::function<void()> done);
+
+    SystemConfig cfg_;
+    Workload& workload_;
+    EventQueue eq_;
+    std::unique_ptr<MemController> controller_;
+    std::unique_ptr<Cache> l3_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> l1_;
+    std::unique_ptr<TraceCpu> cpu_;
+    Tick start_tick_ = 0;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_HARNESS_SYSTEM_HH

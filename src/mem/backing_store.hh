@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Functional byte storage backing a memory device.
+ *
+ * The store holds the *architectural* contents: writes are applied when a
+ * request is enqueued at the device, so controller logic can always read
+ * current data synchronously. Durability across a crash is handled by the
+ * device, which records undo bytes for queued-but-unserviced writes and
+ * rolls them back at crash time (see MemDevice::crash()).
+ */
+
+#ifndef THYNVM_MEM_BACKING_STORE_HH
+#define THYNVM_MEM_BACKING_STORE_HH
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace thynvm {
+
+/**
+ * A flat byte array addressed by device-local addresses.
+ */
+class BackingStore
+{
+  public:
+    /** Create a zero-initialized store of @p capacity bytes. */
+    explicit BackingStore(std::size_t capacity) : bytes_(capacity, 0) {}
+
+    /** Capacity in bytes. */
+    std::size_t size() const { return bytes_.size(); }
+
+    /** Read @p len bytes at @p addr into @p buf. */
+    void
+    read(Addr addr, void* buf, std::size_t len) const
+    {
+        checkRange(addr, len);
+        std::memcpy(buf, bytes_.data() + addr, len);
+    }
+
+    /** Write @p len bytes from @p buf at @p addr. */
+    void
+    write(Addr addr, const void* buf, std::size_t len)
+    {
+        checkRange(addr, len);
+        std::memcpy(bytes_.data() + addr, buf, len);
+    }
+
+    /** Fill @p len bytes at @p addr with @p value. */
+    void
+    fill(Addr addr, std::uint8_t value, std::size_t len)
+    {
+        checkRange(addr, len);
+        std::memset(bytes_.data() + addr, value, len);
+    }
+
+    /** Direct pointer access for bulk comparison in tests. */
+    const std::uint8_t* data() const { return bytes_.data(); }
+
+    /** Zero the entire store (models loss of volatile contents). */
+    void
+    clear()
+    {
+        std::fill(bytes_.begin(), bytes_.end(), 0);
+    }
+
+  private:
+    void
+    checkRange(Addr addr, std::size_t len) const
+    {
+        panic_if(addr + len > bytes_.size() || addr + len < addr,
+                 "backing store access out of range: addr=%llu len=%zu "
+                 "capacity=%zu",
+                 static_cast<unsigned long long>(addr), len, bytes_.size());
+    }
+
+    std::vector<std::uint8_t> bytes_;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_MEM_BACKING_STORE_HH

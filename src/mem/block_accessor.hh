@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Interface for block-granularity timed memory access.
+ *
+ * Implemented by caches and memory controllers so a cache level can be
+ * stacked on either. The functional/timing split contract: read data is
+ * produced synchronously at call time; write data is consumed at call
+ * time; the callback models timing only.
+ */
+
+#ifndef THYNVM_MEM_BLOCK_ACCESSOR_HH
+#define THYNVM_MEM_BLOCK_ACCESSOR_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+#include "mem/request.hh"
+
+namespace thynvm {
+
+/**
+ * Anything that services 64-byte block accesses with split
+ * functional/timing semantics.
+ */
+class BlockAccessor
+{
+  public:
+    virtual ~BlockAccessor() = default;
+
+    /**
+     * Access one block.
+     * @param paddr block-aligned physical address.
+     * @param is_write write (data consumed now) vs read (data produced
+     *        now into @p rdata).
+     * @param wdata kBlockSize bytes of write data, or nullptr for reads.
+     * @param rdata kBlockSize byte output buffer, or nullptr for writes.
+     * @param source traffic attribution.
+     * @param done timing-completion callback (reads: data was already
+     *        delivered at call time; writes: posted acknowledgment).
+     */
+    virtual void accessBlock(Addr paddr, bool is_write,
+                             const std::uint8_t* wdata,
+                             std::uint8_t* rdata, TrafficSource source,
+                             std::function<void()> done) = 0;
+
+    /**
+     * Functional (zero-time) read of one block's current architectural
+     * contents, observing any copies held at this level. Caches check
+     * their own lines before delegating downward; controllers resolve
+     * the software-visible version.
+     */
+    virtual void functionalReadBlock(Addr paddr, std::uint8_t* buf) = 0;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_MEM_BLOCK_ACCESSOR_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Abstract interface of a persistent-memory controller.
+ *
+ * The cache hierarchy talks to a MemController at block granularity. Each
+ * concrete controller (ThyNVM, journaling, shadow paging, ideal DRAM/NVM)
+ * implements address translation, crash-consistency machinery, and
+ * recovery behind this interface, so systems are interchangeable in the
+ * harness and benchmarks.
+ */
+
+#ifndef THYNVM_MEM_CONTROLLER_HH
+#define THYNVM_MEM_CONTROLLER_HH
+
+#include <functional>
+#include <vector>
+
+#include "mem/block_accessor.hh"
+#include "mem/device.hh"
+#include "mem/request.hh"
+#include "sim/sim_object.hh"
+
+namespace thynvm {
+
+/**
+ * Base class for all evaluated memory controllers.
+ */
+class MemController : public SimObject, public BlockAccessor
+{
+  public:
+    /** Callback fired when an access completes. */
+    using AccessCallback = std::function<void()>;
+    /**
+     * A flush client drains volatile CPU state (registers, store buffer,
+     * dirty cache blocks) into the controller, then invokes the given
+     * continuation. Registered by the System during wiring.
+     */
+    using FlushClient = std::function<void(std::function<void()>)>;
+
+    MemController(EventQueue& eq, std::string name)
+        : SimObject(eq, std::move(name))
+    {
+        stats().addScalar("epochs", &epochs_, "completed epochs");
+        stats().addScalar("ckpt_stall_time", &ckpt_stall_time_,
+                          "ticks execution was blocked by checkpointing");
+        stats().addScalar("ckpt_busy_time", &ckpt_busy_time_,
+                          "ticks a checkpoint phase was in progress");
+        stats().addScalar("recoveries", &recoveries_,
+                          "successful crash recoveries");
+    }
+
+    /** Size of the software-visible physical address space in bytes. */
+    virtual std::size_t physCapacity() const = 0;
+
+    /**
+     * Timed block access from the cache hierarchy.
+     *
+     * Functional/timing split: for reads, @p rdata is filled with the
+     * software-visible data synchronously at call time; @p done fires
+     * when the *timed* access completes. For writes, @p wdata is
+     * consumed (applied functionally) at call time and @p done fires at
+     * posted-write acknowledgment.
+     *
+     * @param paddr block-aligned physical address.
+     * @param is_write true for a dirty-block writeback, false for a fill.
+     * @param wdata kBlockSize bytes of write data (writes only).
+     * @param rdata kBlockSize byte buffer, filled at call time (reads).
+     * @param source attribution for traffic statistics.
+     * @param done completion callback as described above.
+     */
+    void accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
+                     std::uint8_t* rdata, TrafficSource source,
+                     std::function<void()> done) override = 0;
+
+    /**
+     * Persist a CPU architectural-state blob as part of the running
+     * checkpoint (called by the flush client). Controllers without
+     * checkpointing may ignore it.
+     */
+    virtual void persistCpuState(const std::vector<std::uint8_t>& blob)
+    {
+        (void)blob;
+    }
+
+    /** CPU state recovered by the last successful recover() call. */
+    virtual const std::vector<std::uint8_t>&
+    recoveredCpuState() const
+    {
+        static const std::vector<std::uint8_t> empty;
+        return empty;
+    }
+
+    /**
+     * Read the current software-visible version of memory with no timing
+     * effect. Used by tests, the consistency checker, and examples.
+     */
+    virtual void functionalRead(Addr paddr, void* buf,
+                                std::size_t len) const = 0;
+
+    /** BlockAccessor functional read, resolved via functionalRead(). */
+    void
+    functionalReadBlock(Addr paddr, std::uint8_t* buf) override
+    {
+        functionalRead(paddr, buf, kBlockSize);
+    }
+
+    /**
+     * Install initial memory contents before simulation starts (e.g.,
+     * the workload's heap image). Writes bypass timing and land in the
+     * durable home location.
+     */
+    virtual void loadImage(Addr paddr, const void* buf,
+                           std::size_t len) = 0;
+
+    /** Begin operation (arm epoch timers, etc.). */
+    virtual void start() {}
+
+    /**
+     * Power loss: discard all volatile state (translation tables, DRAM
+     * contents, staged requests); unserviced NVM writes are rolled back
+     * by the devices. The event queue is cleared by the harness.
+     */
+    virtual void crash() = 0;
+
+    /**
+     * Rebuild a consistent software-visible memory image from durable
+     * NVM state after crash(). Timed recovery traffic is modeled.
+     * @param done fires when the system is ready to resume execution.
+     */
+    virtual void recover(std::function<void()> done) = 0;
+
+    /** Register the CPU-side flush client used during checkpointing. */
+    void setFlushClient(FlushClient client) { flush_ = std::move(client); }
+
+    /** NVM device, if this controller has one (for traffic metrics). */
+    virtual MemDevice* nvmDevice() { return nullptr; }
+    /** DRAM device, if this controller has one. */
+    virtual MemDevice* dramDevice() { return nullptr; }
+    /** Handle to the NVM contents that survive a crash (may be null). */
+    virtual std::shared_ptr<BackingStore> nvmStoreHandle()
+    {
+        return nullptr;
+    }
+
+    /** Ticks execution was blocked due to checkpointing. */
+    Tick
+    checkpointStallTime() const
+    {
+        return static_cast<Tick>(ckpt_stall_time_.value());
+    }
+
+    /** Number of completed epochs. */
+    std::uint64_t
+    completedEpochs() const
+    {
+        return static_cast<std::uint64_t>(epochs_.value());
+    }
+
+  protected:
+    FlushClient flush_;
+    stats::Scalar epochs_;
+    stats::Scalar ckpt_stall_time_;
+    stats::Scalar ckpt_busy_time_;
+    stats::Scalar recoveries_;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_MEM_CONTROLLER_HH

@@ -1,0 +1,366 @@
+/**
+ * @file
+ * MemDevice implementation.
+ */
+
+#include "mem/device.hh"
+
+#include <algorithm>
+
+namespace thynvm {
+
+const char*
+trafficSourceName(TrafficSource s)
+{
+    switch (s) {
+      case TrafficSource::DemandRead: return "demand_read";
+      case TrafficSource::CpuWriteback: return "cpu_writeback";
+      case TrafficSource::Checkpoint: return "checkpoint";
+      case TrafficSource::Migration: return "migration";
+      case TrafficSource::Recovery: return "recovery";
+    }
+    return "unknown";
+}
+
+DeviceParams
+DeviceParams::dram(std::size_t capacity)
+{
+    DeviceParams p;
+    p.capacity = capacity;
+    p.row_hit_latency = 40 * kNanosecond;
+    p.row_miss_clean_latency = 80 * kNanosecond;
+    p.row_miss_dirty_latency = 80 * kNanosecond;
+    return p;
+}
+
+DeviceParams
+DeviceParams::nvm(std::size_t capacity)
+{
+    DeviceParams p;
+    p.capacity = capacity;
+    p.row_hit_latency = 40 * kNanosecond;
+    p.row_miss_clean_latency = 128 * kNanosecond;
+    p.row_miss_dirty_latency = 368 * kNanosecond;
+    return p;
+}
+
+MemDevice::MemDevice(EventQueue& eq, std::string name,
+                     const DeviceParams& params,
+                     std::shared_ptr<BackingStore> store)
+    : SimObject(eq, std::move(name)),
+      params_(params),
+      store_(store ? std::move(store)
+                   : std::make_shared<BackingStore>(params.capacity)),
+      banks_(params.banks)
+{
+    fatal_if(params_.banks == 0, "device must have at least one bank");
+    fatal_if(params_.row_size == 0 || params_.row_size % kBlockSize != 0,
+             "row size must be a nonzero multiple of the block size");
+    fatal_if(store_->size() < params_.capacity,
+             "backing store smaller than device capacity");
+    fatal_if(params_.write_drain_low >= params_.write_drain_high ||
+                 params_.write_drain_high > params_.write_queue_capacity,
+             "invalid write drain watermarks");
+
+    stats().addScalar("reads", &reads_, "read requests serviced");
+    stats().addScalar("writes", &writes_, "write requests serviced");
+    stats().addScalar("read_bytes", &read_bytes_, "bytes read");
+    for (std::size_t i = 0; i < kNumTrafficSources; ++i) {
+        stats().addScalar(
+            std::string("write_bytes::") +
+                trafficSourceName(static_cast<TrafficSource>(i)),
+            &write_bytes_by_source_[i], "bytes written by source");
+    }
+    stats().addScalar("row_hits", &row_hits_, "row buffer hits");
+    stats().addScalar("row_misses_clean", &row_misses_clean_,
+                      "row misses with clean open row");
+    stats().addScalar("row_misses_dirty", &row_misses_dirty_,
+                      "row misses with dirty open row");
+    stats().addScalar("write_drain_entries", &write_drain_entries_,
+                      "times the device entered write-drain mode");
+    stats().addHistogram("read_latency_ns", &read_latency_,
+                         "read service latency");
+}
+
+unsigned
+MemDevice::bankOf(Addr addr) const
+{
+    return static_cast<unsigned>(rowOf(addr) % params_.banks);
+}
+
+std::uint64_t
+MemDevice::rowOf(Addr addr) const
+{
+    return addr / params_.row_size;
+}
+
+bool
+MemDevice::canAccept(bool is_write) const
+{
+    if (is_write)
+        return write_q_.size() < params_.write_queue_capacity;
+    return read_q_.size() < params_.read_queue_capacity;
+}
+
+bool
+MemDevice::enqueue(DeviceRequest req)
+{
+    panic_if(req.addr % kBlockSize != 0, "unaligned device request");
+    panic_if(req.addr + kBlockSize > params_.capacity,
+             "device request beyond capacity: addr=%llu cap=%zu",
+             static_cast<unsigned long long>(req.addr), params_.capacity);
+    if (!canAccept(req.is_write))
+        return false;
+
+    QueuedRequest qr;
+    qr.enqueue_tick = curTick();
+    qr.seq = next_seq_++;
+    if (req.is_write) {
+        // Save undo bytes for crash rollback, then apply functionally.
+        store_->read(req.addr, qr.undo.data(), kBlockSize);
+        store_->write(req.addr, req.data.data(), kBlockSize);
+    }
+    qr.req = std::move(req);
+
+    auto& q = qr.req.is_write ? write_q_ : read_q_;
+    q.push_back(std::move(qr));
+
+    if (!schedule_pending_) {
+        // Defer scheduling to a zero-delay event so a burst of enqueues
+        // in the same tick is scheduled as one batch.
+        schedule_pending_ = true;
+        eventq_.scheduleIn(0, [this] {
+            schedule_pending_ = false;
+            trySchedule();
+        });
+    }
+    return true;
+}
+
+void
+MemDevice::notifyWhenAccepting(bool is_write, std::function<void()> cb)
+{
+    if (canAccept(is_write)) {
+        eventq_.scheduleIn(0, std::move(cb));
+        return;
+    }
+    auto& cbs = is_write ? write_accept_cbs_ : read_accept_cbs_;
+    cbs.push_back(std::move(cb));
+}
+
+bool
+MemDevice::writesDrained() const
+{
+    return write_q_.empty();
+}
+
+void
+MemDevice::notifyWhenWritesDrained(std::function<void()> cb)
+{
+    if (writesDrained()) {
+        eventq_.scheduleIn(0, std::move(cb));
+        return;
+    }
+    drain_cbs_.push_back(std::move(cb));
+}
+
+void
+MemDevice::crash()
+{
+    // Roll back unserviced writes newest-first so each undo restores the
+    // bytes present when that write was enqueued.
+    for (auto it = write_q_.rbegin(); it != write_q_.rend(); ++it)
+        store_->write(it->req.addr, it->undo.data(), kBlockSize);
+    quiesce();
+}
+
+void
+MemDevice::quiesce()
+{
+    write_q_.clear();
+    read_q_.clear();
+    read_accept_cbs_.clear();
+    write_accept_cbs_.clear();
+    drain_cbs_.clear();
+    // The caller abandons the event queue, so any pending scheduling or
+    // completion events are gone; reset the coalescing flag.
+    schedule_pending_ = false;
+    draining_writes_ = false;
+}
+
+std::uint64_t
+MemDevice::writeBytes(TrafficSource s) const
+{
+    return static_cast<std::uint64_t>(
+        write_bytes_by_source_[static_cast<std::size_t>(s)].value());
+}
+
+std::uint64_t
+MemDevice::totalWriteBytes() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kNumTrafficSources; ++i)
+        total += static_cast<std::uint64_t>(
+            write_bytes_by_source_[i].value());
+    return total;
+}
+
+std::uint64_t
+MemDevice::totalReadBytes() const
+{
+    return static_cast<std::uint64_t>(read_bytes_.value());
+}
+
+std::size_t
+MemDevice::pickNext(std::deque<QueuedRequest>& q)
+{
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::size_t oldest_ready = npos;
+    const Tick now = curTick();
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        auto& qr = q[i];
+        if (qr.in_service)
+            continue;
+        const Bank& bank = banks_[bankOf(qr.req.addr)];
+        if (bank.busy_until > now)
+            continue;
+        // FR-FCFS: the first (oldest) row-buffer hit wins outright.
+        if (bank.row_valid && bank.open_row == rowOf(qr.req.addr))
+            return i;
+        if (oldest_ready == npos)
+            oldest_ready = i;
+    }
+    return oldest_ready;
+}
+
+void
+MemDevice::trySchedule()
+{
+    // Reads are latency-critical and win whenever the write backlog is
+    // manageable; writes are drained in bursts once the queue crosses
+    // the high watermark (or opportunistically when no reads wait).
+    const bool was_draining = draining_writes_;
+    draining_writes_ = write_q_.size() >= params_.write_drain_high ||
+                       (draining_writes_ &&
+                        write_q_.size() > params_.write_drain_low &&
+                        read_q_.empty());
+    if (draining_writes_ && !was_draining)
+        ++write_drain_entries_;
+
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        auto& primary = draining_writes_ ? write_q_ : read_q_;
+        auto& secondary = draining_writes_ ? read_q_ : write_q_;
+        std::size_t idx = pickNext(primary);
+        if (idx != npos) {
+            startService(primary, idx);
+            progress = true;
+            continue;
+        }
+        idx = pickNext(secondary);
+        if (idx != npos) {
+            startService(secondary, idx);
+            progress = true;
+        }
+    }
+}
+
+void
+MemDevice::startService(std::deque<QueuedRequest>& q, std::size_t idx)
+{
+    QueuedRequest& qr = q[idx];
+    qr.in_service = true;
+
+    Bank& bank = banks_[bankOf(qr.req.addr)];
+    const std::uint64_t row = rowOf(qr.req.addr);
+
+    const bool row_hit = bank.row_valid && bank.open_row == row;
+    Tick access_latency;
+    if (row_hit) {
+        access_latency = params_.row_hit_latency;
+        ++row_hits_;
+    } else if (bank.row_valid && bank.row_dirty) {
+        access_latency = params_.row_miss_dirty_latency;
+        ++row_misses_dirty_;
+    } else {
+        access_latency = params_.row_miss_clean_latency;
+        ++row_misses_clean_;
+    }
+
+    // Opening a new row discards the old one; the cost of writing back a
+    // dirty evicted row was paid in the access latency above.
+    bank.row_valid = true;
+    bank.open_row = row;
+    bank.row_dirty = (row_hit && bank.row_dirty) || qr.req.is_write;
+
+    const Tick now = curTick();
+    const Tick access_done = now + access_latency;
+    const Tick bus_slot = std::max(access_done, bus_free_);
+    const Tick done = bus_slot + params_.burst_latency;
+    bus_free_ = done;
+    bank.busy_until = done;
+
+    const bool is_write = qr.req.is_write;
+    const std::uint64_t seq = qr.seq;
+    eventq_.schedule(done, [this, is_write, seq] {
+        finishService(is_write, seq);
+    });
+}
+
+void
+MemDevice::finishService(bool is_write, std::uint64_t seq)
+{
+    auto& q = is_write ? write_q_ : read_q_;
+    auto it = std::find_if(q.begin(), q.end(), [seq](const QueuedRequest& r) {
+        return r.seq == seq;
+    });
+    panic_if(it == q.end(), "completion for unknown request");
+
+    QueuedRequest qr = std::move(*it);
+    q.erase(it);
+
+    if (is_write) {
+        ++writes_;
+        write_bytes_by_source_[static_cast<std::size_t>(qr.req.source)] +=
+            kBlockSize;
+    } else {
+        ++reads_;
+        read_bytes_ += kBlockSize;
+        // Deliver the current architectural contents.
+        store_->read(qr.req.addr, qr.req.data.data(), kBlockSize);
+        read_latency_.sample(
+            static_cast<double>(curTick() - qr.enqueue_tick) /
+            kNanosecond);
+    }
+
+    if (qr.req.on_complete)
+        qr.req.on_complete();
+
+    fireAcceptCallbacks(is_write);
+    if (is_write && write_q_.empty() && !drain_cbs_.empty()) {
+        auto cbs = std::move(drain_cbs_);
+        drain_cbs_.clear();
+        for (auto& cb : cbs)
+            cb();
+    }
+
+    trySchedule();
+}
+
+void
+MemDevice::fireAcceptCallbacks(bool is_write)
+{
+    if (!canAccept(is_write))
+        return;
+    auto& cbs = is_write ? write_accept_cbs_ : read_accept_cbs_;
+    if (cbs.empty())
+        return;
+    auto pending = std::move(cbs);
+    cbs.clear();
+    for (auto& cb : pending)
+        cb();
+}
+
+} // namespace thynvm

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Timing model of a memory device (DRAM or NVM) with banked row buffers,
+ * separate read/write queues, FR-FCFS-style scheduling with write-drain
+ * watermarks, and crash-precise durability semantics.
+ *
+ * Timing follows Table 2 of the paper: row-buffer hits and misses have
+ * fixed service latencies; NVM distinguishes clean and dirty row-buffer
+ * misses (a dirty miss must first write the evicted row back to the cell
+ * array). A shared data bus serializes block transfers.
+ */
+
+#ifndef THYNVM_MEM_DEVICE_HH
+#define THYNVM_MEM_DEVICE_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "mem/backing_store.hh"
+#include "mem/request.hh"
+#include "sim/sim_object.hh"
+
+namespace thynvm {
+
+/**
+ * Static configuration of a memory device.
+ */
+struct DeviceParams
+{
+    /** Total capacity in bytes. */
+    std::size_t capacity = 16u << 20;
+    /** Number of banks (requests to distinct banks proceed in parallel). */
+    unsigned banks = 8;
+    /** Row-buffer size in bytes. */
+    std::size_t row_size = 8192;
+    /** Service latency of a row-buffer hit. */
+    Tick row_hit_latency = 40 * kNanosecond;
+    /** Service latency of a row miss with a clean open row. */
+    Tick row_miss_clean_latency = 80 * kNanosecond;
+    /** Service latency of a row miss with a dirty open row. */
+    Tick row_miss_dirty_latency = 80 * kNanosecond;
+    /** Data-bus occupancy per 64-byte block transfer. */
+    Tick burst_latency = 5 * kNanosecond;
+    /** Read queue capacity. */
+    unsigned read_queue_capacity = 32;
+    /** Write queue capacity. */
+    unsigned write_queue_capacity = 64;
+    /** Start draining writes when the write queue reaches this level. */
+    unsigned write_drain_high = 48;
+    /** Stop draining when the write queue falls to this level. */
+    unsigned write_drain_low = 16;
+
+    /** Standard DDR3-1600 DRAM per Table 2. */
+    static DeviceParams dram(std::size_t capacity);
+    /** NVM timing per Table 2 (40/128/368 ns hit/clean/dirty). */
+    static DeviceParams nvm(std::size_t capacity);
+};
+
+/**
+ * A banked memory device with timing and functional state.
+ *
+ * Functional semantics: write data hits the backing store at *enqueue*
+ * time so that producers can immediately read their own writes. For crash
+ * fidelity every queued write saves undo bytes; crash() rolls back all
+ * writes that the timing model had not yet serviced, leaving exactly the
+ * bytes a real device would hold after power loss.
+ */
+class MemDevice : public SimObject
+{
+  public:
+    MemDevice(EventQueue& eq, std::string name, const DeviceParams& params,
+              std::shared_ptr<BackingStore> store = nullptr);
+
+    /** Device configuration. */
+    const DeviceParams& params() const { return params_; }
+    /** Functional contents. */
+    BackingStore& store() { return *store_; }
+    const BackingStore& store() const { return *store_; }
+    /** Shared handle to the functional contents (survives crash). */
+    std::shared_ptr<BackingStore> storeHandle() { return store_; }
+
+    /** True if a request of the given kind can be enqueued now. */
+    bool canAccept(bool is_write) const;
+
+    /**
+     * Enqueue a request. Returns false (and does nothing) if the
+     * corresponding queue is full. Write data is applied to the backing
+     * store immediately on successful enqueue.
+     */
+    bool enqueue(DeviceRequest req);
+
+    /** Register a one-shot callback for when queue space frees up. */
+    void notifyWhenAccepting(bool is_write, std::function<void()> cb);
+
+    /** True if no writes are queued or in flight. */
+    bool writesDrained() const;
+
+    /** One-shot callback for when all currently queued writes finish. */
+    void notifyWhenWritesDrained(std::function<void()> cb);
+
+    /**
+     * Power-loss semantics: roll back queued-but-unserviced writes (in
+     * reverse enqueue order), drop all queued requests and callbacks.
+     * The event queue is assumed to be abandoned by the caller.
+     */
+    void crash();
+
+    /**
+     * Drop all queued requests and callbacks but keep the functional
+     * contents (no rollback). Used by the idealized systems, whose
+     * crash consistency is free by assumption.
+     */
+    void quiesce();
+
+    /** Total bytes written, by traffic source. */
+    std::uint64_t writeBytes(TrafficSource s) const;
+    /** Total bytes written across all sources. */
+    std::uint64_t totalWriteBytes() const;
+    /** Total bytes read. */
+    std::uint64_t totalReadBytes() const;
+
+  private:
+    struct QueuedRequest
+    {
+        DeviceRequest req;
+        /** Undo bytes for crash rollback (writes only). */
+        std::array<std::uint8_t, kBlockSize> undo;
+        Tick enqueue_tick;
+        std::uint64_t seq;
+        bool in_service = false;
+    };
+
+    struct Bank
+    {
+        Tick busy_until = 0;
+        std::uint64_t open_row = ~0ull;
+        bool row_dirty = false;
+        bool row_valid = false;
+    };
+
+    unsigned bankOf(Addr addr) const;
+    std::uint64_t rowOf(Addr addr) const;
+
+    /** Try to start servicing queued requests; schedules completions. */
+    void trySchedule();
+    /** Pick the next serviceable request index in @p q, or npos. */
+    std::size_t pickNext(std::deque<QueuedRequest>& q);
+    /** Begin timed service of request at index @p idx of queue @p q. */
+    void startService(std::deque<QueuedRequest>& q, std::size_t idx);
+    void finishService(bool is_write, std::uint64_t seq);
+    void fireAcceptCallbacks(bool is_write);
+
+    DeviceParams params_;
+    std::shared_ptr<BackingStore> store_;
+    std::vector<Bank> banks_;
+    Tick bus_free_ = 0;
+
+    std::deque<QueuedRequest> read_q_;
+    std::deque<QueuedRequest> write_q_;
+    bool draining_writes_ = false;
+    std::uint64_t next_seq_ = 0;
+    bool schedule_pending_ = false;
+
+    std::vector<std::function<void()>> read_accept_cbs_;
+    std::vector<std::function<void()>> write_accept_cbs_;
+    std::vector<std::function<void()>> drain_cbs_;
+
+    // Statistics.
+    stats::Scalar reads_;
+    stats::Scalar writes_;
+    stats::Scalar read_bytes_;
+    stats::Scalar write_bytes_by_source_[kNumTrafficSources];
+    stats::Scalar row_hits_;
+    stats::Scalar row_misses_clean_;
+    stats::Scalar row_misses_dirty_;
+    stats::Scalar write_drain_entries_;
+    stats::Histogram read_latency_{32, 2000.0}; // ns
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_MEM_DEVICE_HH

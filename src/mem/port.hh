@@ -1,0 +1,197 @@
+/**
+ * @file
+ * A staging port in front of a MemDevice.
+ *
+ * Controllers can always send() into a port; the port issues requests to
+ * the device as queue space frees up, providing backpressure through
+ * acceptance callbacks instead of rejections. Reads and writes are staged
+ * in separate FIFOs so demand reads are not head-of-line blocked behind
+ * checkpoint write bursts; this is safe because data is resolved
+ * *functionally* at send time (see MemController::access contract) and
+ * device-level requests model timing and durability only.
+ *
+ * Durability ordering across writes (e.g., checkpoint data before the
+ * commit record) is enforced at the protocol level by waiting on
+ * notifyWhenWritesDurable() between dependent writes, mirroring the
+ * paper's "flush the NVM write queue" step.
+ */
+
+#ifndef THYNVM_MEM_PORT_HH
+#define THYNVM_MEM_PORT_HH
+
+#include <cstring>
+#include <deque>
+
+#include "mem/device.hh"
+
+namespace thynvm {
+
+/**
+ * Staging port with unbounded read/write FIFOs and in-order issue
+ * within each class.
+ */
+class DevicePort
+{
+  public:
+    /** @param dev the device this port feeds. */
+    explicit DevicePort(MemDevice& dev) : dev_(dev) {}
+
+    DevicePort(const DevicePort&) = delete;
+    DevicePort& operator=(const DevicePort&) = delete;
+
+    /** The device behind this port. */
+    MemDevice& device() { return dev_; }
+    const MemDevice& device() const { return dev_; }
+
+    /**
+     * Stage a request for issue to the device.
+     * @param req the request; its on_complete fires at service end.
+     * @param on_accept fires when the device accepts the request into
+     *        its queue (useful as a posted-write acknowledgment).
+     */
+    void
+    send(DeviceRequest req, std::function<void()> on_accept = {})
+    {
+        auto& fifo = req.is_write ? write_fifo_ : read_fifo_;
+        fifo.push_back(Item{std::move(req), std::move(on_accept)});
+        tryIssue(fifo.back().req.is_write);
+    }
+
+    /**
+     * Functional read that observes staged writes still in the write
+     * FIFO (newest match wins) before falling back to the backing
+     * store. @p addr must be block aligned, @p len at most one block.
+     */
+    void
+    functionalRead(Addr addr, void* buf, std::size_t len) const
+    {
+        panic_if(addr % kBlockSize != 0 || len > kBlockSize,
+                 "port functional read must target a single block");
+        for (auto it = write_fifo_.rbegin(); it != write_fifo_.rend();
+             ++it) {
+            if (it->req.addr == addr) {
+                std::memcpy(buf, it->req.data.data(), len);
+                return;
+            }
+        }
+        dev_.store().read(addr, buf, len);
+    }
+
+    /** Requests staged but not yet accepted by the device. */
+    std::size_t
+    pending() const
+    {
+        return read_fifo_.size() + write_fifo_.size();
+    }
+
+    /** Staged writes not yet accepted by the device. */
+    std::size_t pendingWrites() const { return write_fifo_.size(); }
+
+    /**
+     * One-shot callback for when every write sent through this port so
+     * far has been fully serviced by the device (i.e., is durable if
+     * the device is nonvolatile). Conservative: writes sent after this
+     * call may delay the notification.
+     */
+    void
+    notifyWhenWritesDurable(std::function<void()> cb)
+    {
+        drain_waiters_.push_back(std::move(cb));
+        checkDrainWaiters();
+    }
+
+    /**
+     * Apply all staged writes functionally and drop the FIFOs without
+     * loss. For idealized systems whose consistency is free by
+     * assumption.
+     */
+    void
+    quiesce()
+    {
+        for (auto& item : write_fifo_) {
+            dev_.store().write(item.req.addr, item.req.data.data(),
+                               kBlockSize);
+        }
+        crash();
+    }
+
+    /** Drop all staged requests (power loss). */
+    void
+    crash()
+    {
+        read_fifo_.clear();
+        write_fifo_.clear();
+        drain_waiters_.clear();
+        read_blocked_ = false;
+        write_blocked_ = false;
+        drain_check_armed_ = false;
+    }
+
+  private:
+    struct Item
+    {
+        DeviceRequest req;
+        std::function<void()> on_accept;
+    };
+
+    void
+    tryIssue(bool is_write)
+    {
+        auto& fifo = is_write ? write_fifo_ : read_fifo_;
+        bool& blocked = is_write ? write_blocked_ : read_blocked_;
+        if (blocked)
+            return;
+        while (!fifo.empty()) {
+            if (!dev_.canAccept(is_write)) {
+                blocked = true;
+                dev_.notifyWhenAccepting(is_write, [this, is_write] {
+                    bool& b = is_write ? write_blocked_ : read_blocked_;
+                    b = false;
+                    tryIssue(is_write);
+                });
+                return;
+            }
+            Item item = std::move(fifo.front());
+            fifo.pop_front();
+            bool ok = dev_.enqueue(std::move(item.req));
+            panic_if(!ok, "device rejected request after canAccept");
+            if (item.on_accept)
+                item.on_accept();
+        }
+        if (is_write)
+            checkDrainWaiters();
+    }
+
+    void
+    checkDrainWaiters()
+    {
+        if (drain_waiters_.empty() || drain_check_armed_)
+            return;
+        if (!write_fifo_.empty())
+            return; // tryIssue(write) will re-check once staged
+        drain_check_armed_ = true;
+        dev_.notifyWhenWritesDrained([this] {
+            drain_check_armed_ = false;
+            if (write_fifo_.empty() && dev_.writesDrained()) {
+                auto waiters = std::move(drain_waiters_);
+                drain_waiters_.clear();
+                for (auto& cb : waiters)
+                    cb();
+            } else {
+                checkDrainWaiters();
+            }
+        });
+    }
+
+    MemDevice& dev_;
+    std::deque<Item> read_fifo_;
+    std::deque<Item> write_fifo_;
+    std::vector<std::function<void()>> drain_waiters_;
+    bool read_blocked_ = false;
+    bool write_blocked_ = false;
+    bool drain_check_armed_ = false;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_MEM_PORT_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Request types exchanged between memory controllers and devices.
+ */
+
+#ifndef THYNVM_MEM_REQUEST_HH
+#define THYNVM_MEM_REQUEST_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hh"
+
+namespace thynvm {
+
+/**
+ * Who generated a piece of memory traffic. Mirrors the traffic breakdown
+ * of Figure 8 in the paper: demand traffic from the CPU (reads and cache
+ * writebacks), checkpointing traffic (data and metadata), and migration
+ * traffic from switching data between checkpointing schemes.
+ */
+enum class TrafficSource : std::uint8_t
+{
+    DemandRead,    //!< Cache-fill read on behalf of the CPU.
+    CpuWriteback,  //!< Dirty-block writeback from the cache hierarchy.
+    Checkpoint,    //!< Checkpoint data or metadata writes.
+    Migration,     //!< Data movement between checkpointing schemes.
+    Recovery,      //!< Post-crash restoration traffic.
+};
+
+/** Number of TrafficSource values, for stat arrays. */
+constexpr std::size_t kNumTrafficSources = 5;
+
+/** Human-readable name of a traffic source. */
+const char* trafficSourceName(TrafficSource s);
+
+/**
+ * A block-granularity request at a memory device.
+ *
+ * Write data is applied to the device's backing store when the request is
+ * enqueued; @p on_complete fires when the device finishes the timed
+ * service of the request (data transfer done).
+ */
+struct DeviceRequest
+{
+    /** Device-local byte address; must be block aligned. */
+    Addr addr = 0;
+    /** True for a write, false for a read. */
+    bool is_write = false;
+    /** Attribution for the traffic-breakdown statistics. */
+    TrafficSource source = TrafficSource::DemandRead;
+    /** Write payload (ignored for reads). */
+    std::array<std::uint8_t, kBlockSize> data{};
+    /** Completion callback; may be empty for posted writes. */
+    std::function<void()> on_complete;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_MEM_REQUEST_HH

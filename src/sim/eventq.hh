@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * An EventQueue orders callbacks by tick (picoseconds) with FIFO tie
+ * breaking, so simulation outcomes are fully deterministic. Components
+ * schedule either ad-hoc lambdas or reusable Event objects.
+ */
+
+#ifndef THYNVM_SIM_EVENTQ_HH
+#define THYNVM_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace thynvm {
+
+class EventQueue;
+
+/**
+ * A reusable, cancellable event. An Event may be scheduled on at most
+ * one tick at a time; rescheduling while pending is an error unless the
+ * event is first deschedule()d.
+ */
+class Event
+{
+  public:
+    /** @param fn callback run when the event fires. */
+    explicit Event(std::function<void()> fn) : fn_(std::move(fn)) {}
+
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+
+    /** True if the event is waiting in a queue. */
+    bool scheduled() const { return scheduled_; }
+    /** Tick at which the event will fire (valid only if scheduled). */
+    Tick when() const { return when_; }
+
+  private:
+    friend class EventQueue;
+
+    std::function<void()> fn_;
+    bool scheduled_ = false;
+    /** Cancellation generation: bumping it invalidates queued firings. */
+    std::uint64_t generation_ = 0;
+    Tick when_ = 0;
+};
+
+/**
+ * Deterministic priority queue of timed callbacks.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule a one-shot callback at absolute tick @p when. */
+    void
+    schedule(Tick when, std::function<void()> fn)
+    {
+        panic_if(when < now_, "scheduling in the past (%lu < %lu)",
+                 static_cast<unsigned long>(when),
+                 static_cast<unsigned long>(now_));
+        heap_.push(Item{when, seq_++, std::move(fn), nullptr, 0});
+    }
+
+    /** Schedule a one-shot callback @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, std::function<void()> fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /** Schedule a reusable @p event at absolute tick @p when. */
+    void
+    schedule(Event& event, Tick when)
+    {
+        panic_if(event.scheduled_, "event already scheduled");
+        panic_if(when < now_, "scheduling in the past");
+        event.scheduled_ = true;
+        event.when_ = when;
+        heap_.push(Item{when, seq_++, nullptr, &event, event.generation_});
+    }
+
+    /** Cancel a pending @p event. No-op if not scheduled. */
+    void
+    deschedule(Event& event)
+    {
+        if (!event.scheduled_)
+            return;
+        event.scheduled_ = false;
+        ++event.generation_; // invalidate the queued firing lazily
+    }
+
+    /** Remove and run the single earliest event. */
+    void
+    step()
+    {
+        panic_if(heap_.empty(), "stepping an empty event queue");
+        Item item = heap_.top();
+        heap_.pop();
+        panic_if(item.when < now_, "event queue went backwards");
+        now_ = item.when;
+        if (item.event != nullptr) {
+            if (item.event->generation_ != item.generation)
+                return; // cancelled
+            item.event->scheduled_ = false;
+            item.event->fn_();
+        } else {
+            item.fn();
+        }
+    }
+
+    /** True if no events are pending. */
+    bool
+    empty() const
+    {
+        return heap_.empty();
+    }
+
+    /** Number of pending items (including lazily cancelled ones). */
+    std::size_t size() const { return heap_.size(); }
+
+    /**
+     * Drop every pending event without running it. Used at a simulated
+     * power failure: all components' volatile state is reset together,
+     * so their in-flight callbacks are void. Time does not move.
+     */
+    void
+    clear()
+    {
+        heap_ = {};
+    }
+
+    /**
+     * Run until the queue drains or @p limit ticks is reached.
+     * @return the tick at which the run stopped.
+     */
+    Tick
+    run(Tick limit = kMaxTick)
+    {
+        while (!heap_.empty() && heap_.top().when <= limit)
+            step();
+        if (now_ < limit && limit != kMaxTick)
+            now_ = limit;
+        return now_;
+    }
+
+    /**
+     * Run until @p done returns true, checking after every event.
+     * @return the tick at which @p done first held.
+     */
+    Tick
+    runUntil(const std::function<bool()>& done)
+    {
+        while (!done()) {
+            panic_if(heap_.empty(),
+                     "event queue drained before condition held");
+            step();
+        }
+        return now_;
+    }
+
+  private:
+    struct Item
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+        Event* event;
+        std::uint64_t generation;
+
+        bool
+        operator>(const Item& other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_SIM_EVENTQ_HH

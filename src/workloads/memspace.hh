@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Byte-addressable memory-space abstraction for workload data
+ * structures.
+ *
+ * The key-value stores (paper §5.1, "storage benchmarks") are real data
+ * structures whose every field lives in *simulated* physical memory.
+ * They are written once against this interface and run against:
+ *  - HostMemSpace: a plain buffer, used to build initial heap images
+ *    and as the reference model in consistency checks;
+ *  - the transaction-planning overlay inside KvWorkload, which logs
+ *    reads and buffers writes so the operations can be replayed through
+ *    the timed CPU path.
+ */
+
+#ifndef THYNVM_WORKLOADS_MEMSPACE_HH
+#define THYNVM_WORKLOADS_MEMSPACE_HH
+
+#include <cstring>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace thynvm {
+
+/**
+ * A flat byte-addressable space.
+ */
+class MemSpace
+{
+  public:
+    virtual ~MemSpace() = default;
+
+    /** Read @p len bytes at @p addr. */
+    virtual void read(Addr addr, void* buf, std::size_t len) = 0;
+    /** Write @p len bytes at @p addr. */
+    virtual void write(Addr addr, const void* buf, std::size_t len) = 0;
+
+    /** Typed scalar read. */
+    template <typename T>
+    T
+    readT(Addr addr)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        read(addr, &v, sizeof(T));
+        return v;
+    }
+
+    /** Typed scalar write. */
+    template <typename T>
+    void
+    writeT(Addr addr, const T& v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write(addr, &v, sizeof(T));
+    }
+};
+
+/**
+ * A host-resident memory space (plain buffer).
+ */
+class HostMemSpace : public MemSpace
+{
+  public:
+    explicit HostMemSpace(std::size_t size) : bytes_(size, 0) {}
+
+    void
+    read(Addr addr, void* buf, std::size_t len) override
+    {
+        panic_if(addr + len > bytes_.size(), "host space read overflow");
+        std::memcpy(buf, bytes_.data() + addr, len);
+    }
+
+    void
+    write(Addr addr, const void* buf, std::size_t len) override
+    {
+        panic_if(addr + len > bytes_.size(), "host space write overflow");
+        std::memcpy(bytes_.data() + addr, buf, len);
+    }
+
+    /** Raw contents (for loadImage / byte comparisons). */
+    const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+    std::size_t size() const { return bytes_.size(); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/**
+ * A read-only MemSpace view over a byte-range reader function (e.g.,
+ * the functional view through a simulated cache hierarchy). Used for
+ * structural validation of live simulated data structures.
+ */
+class ReadOnlyMemSpace : public MemSpace
+{
+  public:
+    using Reader = std::function<void(Addr, void*, std::size_t)>;
+
+    explicit ReadOnlyMemSpace(Reader reader) : reader_(std::move(reader))
+    {}
+
+    void
+    read(Addr addr, void* buf, std::size_t len) override
+    {
+        reader_(addr, buf, len);
+    }
+
+    void
+    write(Addr, const void*, std::size_t) override
+    {
+        panic("write through a read-only memory space");
+    }
+
+  private:
+    Reader reader_;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_WORKLOADS_MEMSPACE_HH

@@ -1,0 +1,485 @@
+/**
+ * @file
+ * SimRbTree implementation (CLRS algorithms, null = address 0).
+ *
+ * All pointer surgery is done with field-granularity reads and writes
+ * so the memory traffic resembles a real in-memory tree.
+ */
+
+#include "workloads/rbtree.hh"
+
+namespace thynvm {
+
+namespace {
+
+constexpr Addr kOffKey = 0;
+constexpr Addr kOffLeft = 8;
+constexpr Addr kOffRight = 16;
+constexpr Addr kOffParent = 24;
+constexpr Addr kOffValueAddr = 32;
+constexpr Addr kOffValueLen = 40;
+constexpr Addr kOffColor = 44;
+
+std::uint64_t
+getP(MemSpace& mem, Addr node, Addr off)
+{
+    return mem.readT<std::uint64_t>(node + off);
+}
+
+void
+setP(MemSpace& mem, Addr node, Addr off, std::uint64_t v)
+{
+    mem.writeT<std::uint64_t>(node + off, v);
+}
+
+std::uint64_t
+keyOf(MemSpace& mem, Addr n)
+{
+    return getP(mem, n, kOffKey);
+}
+
+Addr
+leftOf(MemSpace& mem, Addr n)
+{
+    return getP(mem, n, kOffLeft);
+}
+
+Addr
+rightOf(MemSpace& mem, Addr n)
+{
+    return getP(mem, n, kOffRight);
+}
+
+Addr
+parentOf(MemSpace& mem, Addr n)
+{
+    return getP(mem, n, kOffParent);
+}
+
+void
+setColor(MemSpace& mem, Addr n, std::uint32_t c)
+{
+    mem.writeT<std::uint32_t>(n + kOffColor, c);
+}
+
+} // namespace
+
+SimRbTree::Node
+SimRbTree::loadNode(MemSpace& mem, Addr a) const
+{
+    panic_if(a == 0, "loading the null node");
+    Node n;
+    mem.read(a, &n, sizeof(n));
+    return n;
+}
+
+void
+SimRbTree::storeNode(MemSpace& mem, Addr a, const Node& n) const
+{
+    mem.write(a, &n, sizeof(n));
+}
+
+Addr
+SimRbTree::root(MemSpace& mem) const
+{
+    return mem.readT<std::uint64_t>(header_ + 8);
+}
+
+void
+SimRbTree::setRoot(MemSpace& mem, Addr a) const
+{
+    mem.writeT<std::uint64_t>(header_ + 8, a);
+}
+
+std::uint64_t
+SimRbTree::count(MemSpace& mem) const
+{
+    return mem.readT<std::uint64_t>(header_ + 16);
+}
+
+void
+SimRbTree::setCount(MemSpace& mem, std::uint64_t c) const
+{
+    mem.writeT<std::uint64_t>(header_ + 16, c);
+}
+
+std::uint32_t
+SimRbTree::colorOf(MemSpace& mem, Addr a) const
+{
+    if (a == 0)
+        return kBlack; // null nodes are black
+    return mem.readT<std::uint32_t>(a + kOffColor);
+}
+
+void
+SimRbTree::create(MemSpace& mem) const
+{
+    mem.writeT<std::uint64_t>(header_, kMagic);
+    setRoot(mem, 0);
+    setCount(mem, 0);
+}
+
+bool
+SimRbTree::find(MemSpace& mem, std::uint64_t key, Addr* value_addr,
+                std::uint32_t* value_len) const
+{
+    Addr n = root(mem);
+    while (n != 0) {
+        const std::uint64_t k = keyOf(mem, n);
+        if (key == k) {
+            if (value_addr != nullptr)
+                *value_addr = getP(mem, n, kOffValueAddr);
+            if (value_len != nullptr)
+                *value_len = mem.readT<std::uint32_t>(n + kOffValueLen);
+            return true;
+        }
+        n = key < k ? leftOf(mem, n) : rightOf(mem, n);
+    }
+    return false;
+}
+
+void
+SimRbTree::rotateLeft(MemSpace& mem, Addr x) const
+{
+    const Addr y = rightOf(mem, x);
+    const Addr yl = leftOf(mem, y);
+    setP(mem, x, kOffRight, yl);
+    if (yl != 0)
+        setP(mem, yl, kOffParent, x);
+    const Addr xp = parentOf(mem, x);
+    setP(mem, y, kOffParent, xp);
+    if (xp == 0)
+        setRoot(mem, y);
+    else if (leftOf(mem, xp) == x)
+        setP(mem, xp, kOffLeft, y);
+    else
+        setP(mem, xp, kOffRight, y);
+    setP(mem, y, kOffLeft, x);
+    setP(mem, x, kOffParent, y);
+}
+
+void
+SimRbTree::rotateRight(MemSpace& mem, Addr x) const
+{
+    const Addr y = leftOf(mem, x);
+    const Addr yr = rightOf(mem, y);
+    setP(mem, x, kOffLeft, yr);
+    if (yr != 0)
+        setP(mem, yr, kOffParent, x);
+    const Addr xp = parentOf(mem, x);
+    setP(mem, y, kOffParent, xp);
+    if (xp == 0)
+        setRoot(mem, y);
+    else if (rightOf(mem, xp) == x)
+        setP(mem, xp, kOffRight, y);
+    else
+        setP(mem, xp, kOffLeft, y);
+    setP(mem, y, kOffRight, x);
+    setP(mem, x, kOffParent, y);
+}
+
+void
+SimRbTree::insert(MemSpace& mem, std::uint64_t key, const void* value,
+                  std::uint32_t len) const
+{
+    // Descend to find the insertion point or an existing node.
+    Addr parent = 0;
+    Addr cur = root(mem);
+    bool went_left = false;
+    while (cur != 0) {
+        const std::uint64_t k = keyOf(mem, cur);
+        if (key == k) {
+            // Update in place (mirrors SimHashTable::insert).
+            const Addr va = getP(mem, cur, kOffValueAddr);
+            const std::uint32_t vl =
+                mem.readT<std::uint32_t>(cur + kOffValueLen);
+            if (SimHeap::classOf(vl) == SimHeap::classOf(len)) {
+                mem.write(va, value, len);
+                if (vl != len)
+                    mem.writeT<std::uint32_t>(cur + kOffValueLen, len);
+            } else {
+                heap_.free(mem, va, vl);
+                const Addr nva = heap_.alloc(mem, len);
+                mem.write(nva, value, len);
+                setP(mem, cur, kOffValueAddr, nva);
+                mem.writeT<std::uint32_t>(cur + kOffValueLen, len);
+            }
+            return;
+        }
+        parent = cur;
+        went_left = key < k;
+        cur = went_left ? leftOf(mem, cur) : rightOf(mem, cur);
+    }
+
+    Node n{};
+    n.key = key;
+    n.parent = parent;
+    n.color = kRed;
+    n.value_addr = heap_.alloc(mem, len);
+    n.value_len = len;
+    mem.write(n.value_addr, value, len);
+    const Addr z = heap_.alloc(mem, sizeof(Node));
+    storeNode(mem, z, n);
+
+    if (parent == 0)
+        setRoot(mem, z);
+    else if (went_left)
+        setP(mem, parent, kOffLeft, z);
+    else
+        setP(mem, parent, kOffRight, z);
+
+    insertFixup(mem, z);
+    setCount(mem, count(mem) + 1);
+}
+
+void
+SimRbTree::insertFixup(MemSpace& mem, Addr z) const
+{
+    while (true) {
+        const Addr zp = parentOf(mem, z);
+        if (zp == 0 || colorOf(mem, zp) == kBlack)
+            break;
+        const Addr zpp = parentOf(mem, zp);
+        panic_if(zpp == 0, "red root during fixup");
+        if (zp == leftOf(mem, zpp)) {
+            const Addr y = rightOf(mem, zpp); // uncle
+            if (colorOf(mem, y) == kRed) {
+                setColor(mem, zp, kBlack);
+                setColor(mem, y, kBlack);
+                setColor(mem, zpp, kRed);
+                z = zpp;
+            } else {
+                if (z == rightOf(mem, zp)) {
+                    z = zp;
+                    rotateLeft(mem, z);
+                }
+                const Addr nzp = parentOf(mem, z);
+                const Addr nzpp = parentOf(mem, nzp);
+                setColor(mem, nzp, kBlack);
+                setColor(mem, nzpp, kRed);
+                rotateRight(mem, nzpp);
+            }
+        } else {
+            const Addr y = leftOf(mem, zpp); // uncle
+            if (colorOf(mem, y) == kRed) {
+                setColor(mem, zp, kBlack);
+                setColor(mem, y, kBlack);
+                setColor(mem, zpp, kRed);
+                z = zpp;
+            } else {
+                if (z == leftOf(mem, zp)) {
+                    z = zp;
+                    rotateRight(mem, z);
+                }
+                const Addr nzp = parentOf(mem, z);
+                const Addr nzpp = parentOf(mem, nzp);
+                setColor(mem, nzp, kBlack);
+                setColor(mem, nzpp, kRed);
+                rotateLeft(mem, nzpp);
+            }
+        }
+    }
+    setColor(mem, root(mem), kBlack);
+}
+
+void
+SimRbTree::transplant(MemSpace& mem, Addr u, Addr v) const
+{
+    const Addr up = parentOf(mem, u);
+    if (up == 0)
+        setRoot(mem, v);
+    else if (leftOf(mem, up) == u)
+        setP(mem, up, kOffLeft, v);
+    else
+        setP(mem, up, kOffRight, v);
+    if (v != 0)
+        setP(mem, v, kOffParent, up);
+}
+
+Addr
+SimRbTree::minimum(MemSpace& mem, Addr x) const
+{
+    Addr l = leftOf(mem, x);
+    while (l != 0) {
+        x = l;
+        l = leftOf(mem, x);
+    }
+    return x;
+}
+
+bool
+SimRbTree::erase(MemSpace& mem, std::uint64_t key) const
+{
+    // Locate z.
+    Addr z = root(mem);
+    while (z != 0) {
+        const std::uint64_t k = keyOf(mem, z);
+        if (key == k)
+            break;
+        z = key < k ? leftOf(mem, z) : rightOf(mem, z);
+    }
+    if (z == 0)
+        return false;
+
+    const Addr zva = getP(mem, z, kOffValueAddr);
+    const std::uint32_t zvl = mem.readT<std::uint32_t>(z + kOffValueLen);
+
+    Addr y = z;
+    std::uint32_t y_color = colorOf(mem, y);
+    Addr x;
+    Addr x_parent;
+
+    if (leftOf(mem, z) == 0) {
+        x = rightOf(mem, z);
+        x_parent = parentOf(mem, z);
+        transplant(mem, z, x);
+    } else if (rightOf(mem, z) == 0) {
+        x = leftOf(mem, z);
+        x_parent = parentOf(mem, z);
+        transplant(mem, z, x);
+    } else {
+        y = minimum(mem, rightOf(mem, z));
+        y_color = colorOf(mem, y);
+        x = rightOf(mem, y);
+        if (parentOf(mem, y) == z) {
+            x_parent = y;
+            if (x != 0)
+                setP(mem, x, kOffParent, y);
+        } else {
+            x_parent = parentOf(mem, y);
+            transplant(mem, y, x);
+            const Addr zr = rightOf(mem, z);
+            setP(mem, y, kOffRight, zr);
+            setP(mem, zr, kOffParent, y);
+        }
+        transplant(mem, z, y);
+        const Addr zl = leftOf(mem, z);
+        setP(mem, y, kOffLeft, zl);
+        setP(mem, zl, kOffParent, y);
+        setColor(mem, y, colorOf(mem, z));
+    }
+
+    if (y_color == kBlack)
+        eraseFixup(mem, x, x_parent);
+
+    heap_.free(mem, zva, zvl);
+    heap_.free(mem, z, sizeof(Node));
+    setCount(mem, count(mem) - 1);
+    return true;
+}
+
+void
+SimRbTree::eraseFixup(MemSpace& mem, Addr x, Addr x_parent) const
+{
+    while (x != root(mem) && colorOf(mem, x) == kBlack) {
+        if (x_parent == 0)
+            break;
+        if (x == leftOf(mem, x_parent)) {
+            Addr w = rightOf(mem, x_parent);
+            if (colorOf(mem, w) == kRed) {
+                setColor(mem, w, kBlack);
+                setColor(mem, x_parent, kRed);
+                rotateLeft(mem, x_parent);
+                w = rightOf(mem, x_parent);
+            }
+            if (colorOf(mem, leftOf(mem, w)) == kBlack &&
+                colorOf(mem, rightOf(mem, w)) == kBlack) {
+                setColor(mem, w, kRed);
+                x = x_parent;
+                x_parent = parentOf(mem, x);
+            } else {
+                if (colorOf(mem, rightOf(mem, w)) == kBlack) {
+                    const Addr wl = leftOf(mem, w);
+                    if (wl != 0)
+                        setColor(mem, wl, kBlack);
+                    setColor(mem, w, kRed);
+                    rotateRight(mem, w);
+                    w = rightOf(mem, x_parent);
+                }
+                setColor(mem, w, colorOf(mem, x_parent));
+                setColor(mem, x_parent, kBlack);
+                const Addr wr = rightOf(mem, w);
+                if (wr != 0)
+                    setColor(mem, wr, kBlack);
+                rotateLeft(mem, x_parent);
+                x = root(mem);
+                x_parent = 0;
+            }
+        } else {
+            Addr w = leftOf(mem, x_parent);
+            if (colorOf(mem, w) == kRed) {
+                setColor(mem, w, kBlack);
+                setColor(mem, x_parent, kRed);
+                rotateRight(mem, x_parent);
+                w = leftOf(mem, x_parent);
+            }
+            if (colorOf(mem, rightOf(mem, w)) == kBlack &&
+                colorOf(mem, leftOf(mem, w)) == kBlack) {
+                setColor(mem, w, kRed);
+                x = x_parent;
+                x_parent = parentOf(mem, x);
+            } else {
+                if (colorOf(mem, leftOf(mem, w)) == kBlack) {
+                    const Addr wr = rightOf(mem, w);
+                    if (wr != 0)
+                        setColor(mem, wr, kBlack);
+                    setColor(mem, w, kRed);
+                    rotateLeft(mem, w);
+                    w = leftOf(mem, x_parent);
+                }
+                setColor(mem, w, colorOf(mem, x_parent));
+                setColor(mem, x_parent, kBlack);
+                const Addr wl = leftOf(mem, w);
+                if (wl != 0)
+                    setColor(mem, wl, kBlack);
+                rotateRight(mem, x_parent);
+                x = root(mem);
+                x_parent = 0;
+            }
+        }
+    }
+    if (x != 0)
+        setColor(mem, x, kBlack);
+}
+
+int
+SimRbTree::validateSubtree(MemSpace& mem, Addr node, Addr parent,
+                           std::uint64_t lo, std::uint64_t hi,
+                           std::uint64_t* seen) const
+{
+    if (node == 0)
+        return 1; // null nodes are black and contribute height 1
+
+    const Node n = loadNode(mem, node);
+    panic_if(n.parent != parent, "parent link corrupt");
+    panic_if(n.key < lo || n.key > hi, "BST ordering violated");
+    if (n.color == kRed) {
+        panic_if(colorOf(mem, n.left) == kRed ||
+                     colorOf(mem, n.right) == kRed,
+                 "red-red edge");
+    } else {
+        panic_if(n.color != kBlack, "invalid node color");
+    }
+    ++*seen;
+
+    const int lh = validateSubtree(mem, n.left, node, lo,
+                                   n.key == 0 ? 0 : n.key - 1, seen);
+    const int rh = validateSubtree(mem, n.right, node, n.key + 1, hi,
+                                   seen);
+    panic_if(lh != rh, "black height mismatch");
+    return lh + (n.color == kBlack ? 1 : 0);
+}
+
+void
+SimRbTree::validate(MemSpace& mem) const
+{
+    panic_if(mem.readT<std::uint64_t>(header_) != kMagic,
+             "rbtree header corrupt");
+    const Addr r = root(mem);
+    panic_if(colorOf(mem, r) != kBlack, "root is not black");
+    std::uint64_t seen = 0;
+    validateSubtree(mem, r, 0, 0, ~0ull, &seen);
+    panic_if(seen != count(mem), "rbtree count mismatch");
+}
+
+} // namespace thynvm

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A red-black tree living entirely in simulated memory.
+ *
+ * Represents the paper's red-black-tree key-value store (Figure 9b/10b).
+ * Classic CLRS algorithms with parent pointers; address 0 is the null
+ * sentinel. Layout:
+ *   header : {magic, root, count}
+ *   node   : {key, left, right, parent, value_addr, value_len, color}
+ */
+
+#ifndef THYNVM_WORKLOADS_RBTREE_HH
+#define THYNVM_WORKLOADS_RBTREE_HH
+
+#include "workloads/simheap.hh"
+
+namespace thynvm {
+
+/**
+ * Simulated-memory red-black tree with u64 keys and byte-string values.
+ */
+class SimRbTree
+{
+  public:
+    SimRbTree(Addr header_addr, const SimHeap& heap)
+        : header_(header_addr), heap_(heap)
+    {}
+
+    /** Create an empty tree. */
+    void create(MemSpace& mem) const;
+
+    /** Look up @p key; outputs the value location when found. */
+    bool find(MemSpace& mem, std::uint64_t key, Addr* value_addr,
+              std::uint32_t* value_len) const;
+
+    /** Insert or update @p key. */
+    void insert(MemSpace& mem, std::uint64_t key, const void* value,
+                std::uint32_t len) const;
+
+    /** Erase @p key. Returns false if absent. */
+    bool erase(MemSpace& mem, std::uint64_t key) const;
+
+    /** Number of live keys. */
+    std::uint64_t count(MemSpace& mem) const;
+
+    /**
+     * Structural self-check: verifies BST ordering, red-black
+     * properties (no red-red edge, equal black heights), parent links,
+     * and the stored count. Panics on violation.
+     */
+    void validate(MemSpace& mem) const;
+
+  private:
+    struct Node
+    {
+        std::uint64_t key;
+        std::uint64_t left;
+        std::uint64_t right;
+        std::uint64_t parent;
+        std::uint64_t value_addr;
+        std::uint32_t value_len;
+        std::uint32_t color; // 0 = black, 1 = red
+    };
+    static_assert(sizeof(Node) == 48);
+
+    static constexpr std::uint64_t kMagic = 0x5242545245452121ull;
+    static constexpr std::uint32_t kBlack = 0;
+    static constexpr std::uint32_t kRed = 1;
+
+    Node loadNode(MemSpace& mem, Addr a) const;
+    void storeNode(MemSpace& mem, Addr a, const Node& n) const;
+    Addr root(MemSpace& mem) const;
+    void setRoot(MemSpace& mem, Addr a) const;
+    void setCount(MemSpace& mem, std::uint64_t c) const;
+
+    void rotateLeft(MemSpace& mem, Addr x) const;
+    void rotateRight(MemSpace& mem, Addr x) const;
+    void insertFixup(MemSpace& mem, Addr z) const;
+    void transplant(MemSpace& mem, Addr u, Addr v) const;
+    Addr minimum(MemSpace& mem, Addr x) const;
+    void eraseFixup(MemSpace& mem, Addr x, Addr x_parent) const;
+    std::uint32_t colorOf(MemSpace& mem, Addr a) const;
+
+    int validateSubtree(MemSpace& mem, Addr node, Addr parent,
+                        std::uint64_t lo, std::uint64_t hi,
+                        std::uint64_t* seen) const;
+
+    Addr header_;
+    SimHeap heap_;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_WORKLOADS_RBTREE_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * SimHeap implementation.
+ */
+
+#include "workloads/simheap.hh"
+
+namespace thynvm {
+
+namespace {
+
+constexpr std::size_t kClassSizes[SimHeap::kNumClasses] = {
+    16,   32,   64,    128,   256,   512,    1024,   2048,
+    4096, 8192, 16384, 32768, 65536, 131072, 262144,
+};
+
+} // namespace
+
+std::size_t
+SimHeap::classOf(std::size_t size)
+{
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+        if (size <= kClassSizes[c])
+            return c;
+    }
+    panic("allocation of %zu bytes exceeds the largest size class", size);
+}
+
+std::size_t
+SimHeap::classBytes(std::size_t cls)
+{
+    panic_if(cls >= kNumClasses, "bad size class");
+    return kClassSizes[cls];
+}
+
+void
+SimHeap::format(MemSpace& mem) const
+{
+    mem.writeT<std::uint64_t>(headerAddr(), kMagic);
+    mem.writeT<std::uint64_t>(bumpAddr(), dataStart());
+    for (std::size_t c = 0; c < kNumClasses; ++c)
+        mem.writeT<std::uint64_t>(freeHeadAddr(c), 0);
+}
+
+Addr
+SimHeap::alloc(MemSpace& mem, std::size_t size) const
+{
+    const std::size_t cls = classOf(size);
+    const std::uint64_t head = mem.readT<std::uint64_t>(freeHeadAddr(cls));
+    if (head != 0) {
+        // Pop: the first word of a free block links to the next one.
+        const std::uint64_t next = mem.readT<std::uint64_t>(head);
+        mem.writeT<std::uint64_t>(freeHeadAddr(cls), next);
+        return head;
+    }
+    const std::uint64_t bump = mem.readT<std::uint64_t>(bumpAddr());
+    const std::size_t bytes = kClassSizes[cls];
+    panic_if(bump + bytes > base_ + size_,
+             "simulated heap exhausted (base=%llu size=%zu)",
+             static_cast<unsigned long long>(base_), size_);
+    mem.writeT<std::uint64_t>(bumpAddr(), bump + bytes);
+    return bump;
+}
+
+void
+SimHeap::free(MemSpace& mem, Addr addr, std::size_t size) const
+{
+    const std::size_t cls = classOf(size);
+    const std::uint64_t head = mem.readT<std::uint64_t>(freeHeadAddr(cls));
+    mem.writeT<std::uint64_t>(addr, head);
+    mem.writeT<std::uint64_t>(freeHeadAddr(cls), addr);
+}
+
+std::uint64_t
+SimHeap::bumpUsed(MemSpace& mem) const
+{
+    return mem.readT<std::uint64_t>(bumpAddr()) - dataStart();
+}
+
+} // namespace thynvm

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A size-class heap allocator living inside a MemSpace.
+ *
+ * The allocator's own metadata (bump pointer, free-list heads) is part
+ * of the simulated memory image, so it is checkpointed, crashed, and
+ * recovered together with the data structures it serves.
+ */
+
+#ifndef THYNVM_WORKLOADS_SIMHEAP_HH
+#define THYNVM_WORKLOADS_SIMHEAP_HH
+
+#include "workloads/memspace.hh"
+
+namespace thynvm {
+
+/**
+ * Segregated free-list allocator over a MemSpace region.
+ */
+class SimHeap
+{
+  public:
+    /** Size classes in bytes (16 B up to 256 KB). */
+    static constexpr std::size_t kNumClasses = 15;
+
+    /**
+     * Attach to a heap at [base, base+size). Call format() once on a
+     * fresh region before the first allocation.
+     */
+    SimHeap(Addr base, std::size_t size) : base_(base), size_(size)
+    {
+        panic_if(base == 0, "heap base must be nonzero (0 is null)");
+    }
+
+    /** Initialize an empty heap in @p mem. */
+    void format(MemSpace& mem) const;
+
+    /**
+     * Allocate @p size bytes (rounded up to a size class).
+     * Panics if the heap is exhausted.
+     */
+    Addr alloc(MemSpace& mem, std::size_t size) const;
+
+    /** Free an allocation of @p size bytes at @p addr. */
+    void free(MemSpace& mem, Addr addr, std::size_t size) const;
+
+    /** Bytes consumed from the bump region so far. */
+    std::uint64_t bumpUsed(MemSpace& mem) const;
+
+    /** The size class (allocation granule) for @p size. */
+    static std::size_t classOf(std::size_t size);
+    /** Byte size of size class @p cls. */
+    static std::size_t classBytes(std::size_t cls);
+
+  private:
+    static constexpr std::uint64_t kMagic = 0x53494d4845415021ull;
+
+    Addr headerAddr() const { return base_; }
+    Addr bumpAddr() const { return base_ + 8; }
+    Addr freeHeadAddr(std::size_t cls) const
+    {
+        return base_ + 16 + cls * 8;
+    }
+    Addr dataStart() const { return base_ + 16 + kNumClasses * 8; }
+
+    Addr base_;
+    std::size_t size_;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_WORKLOADS_SIMHEAP_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * SPEC CPU2006 behavioural profiles.
+ *
+ * Values are first-order calibrations from published workload
+ * characterizations (memory intensity, footprint, spatial locality,
+ * write share) of the eight most memory-intensive applications the
+ * paper selects.
+ */
+
+#include "workloads/spec.hh"
+
+#include "common/logging.hh"
+
+namespace thynvm {
+
+const std::vector<SpecProfile>&
+specProfiles()
+{
+    static const std::vector<SpecProfile> profiles = {
+        // name        mem%   wss          stream write  size
+        {"gcc",        0.26,  10u << 20,   0.30,  0.35,  16},
+        {"bwaves",     0.38,  24u << 20,   0.85,  0.30,  32},
+        {"milc",       0.40,  24u << 20,   0.50,  0.35,  32},
+        {"leslie3d",   0.36,  20u << 20,   0.70,  0.35,  32},
+        {"soplex",     0.30,  16u << 20,   0.40,  0.25,  16},
+        {"GemsFDTD",   0.42,  24u << 20,   0.70,  0.35,  32},
+        {"lbm",        0.45,  24u << 20,   0.90,  0.50,  64},
+        {"omnetpp",    0.32,  12u << 20,   0.10,  0.35,  16},
+    };
+    return profiles;
+}
+
+const SpecProfile&
+specProfile(const std::string& name)
+{
+    for (const auto& p : specProfiles()) {
+        if (name == p.name)
+            return p;
+    }
+    fatal("unknown SPEC profile '%s'", name.c_str());
+}
+
+} // namespace thynvm

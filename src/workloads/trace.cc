@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Trace file I/O.
+ */
+
+#include "workloads/trace.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace thynvm {
+
+namespace {
+
+constexpr std::uint64_t kTraceMagic = 0x54484e56545243ull; // "THNVTRC"
+constexpr std::uint64_t kTraceVersion = 1;
+
+struct TraceHeader
+{
+    std::uint64_t magic;
+    std::uint64_t version;
+    std::uint64_t op_count;
+};
+
+struct FileCloser
+{
+    void operator()(std::FILE* f) const { std::fclose(f); }
+};
+
+} // namespace
+
+void
+TraceRecorder::save(const std::string& path) const
+{
+    std::unique_ptr<std::FILE, FileCloser> f(
+        std::fopen(path.c_str(), "wb"));
+    fatal_if(!f, "cannot open trace file '%s' for writing",
+             path.c_str());
+    TraceHeader hdr{kTraceMagic, kTraceVersion, records_.size()};
+    fatal_if(std::fwrite(&hdr, sizeof(hdr), 1, f.get()) != 1,
+             "trace header write failed");
+    if (!records_.empty()) {
+        fatal_if(std::fwrite(records_.data(), sizeof(TraceRecord),
+                             records_.size(),
+                             f.get()) != records_.size(),
+                 "trace body write failed");
+    }
+}
+
+TraceReplayWorkload
+TraceReplayWorkload::load(const std::string& path)
+{
+    std::unique_ptr<std::FILE, FileCloser> f(
+        std::fopen(path.c_str(), "rb"));
+    fatal_if(!f, "cannot open trace file '%s'", path.c_str());
+    TraceHeader hdr{};
+    fatal_if(std::fread(&hdr, sizeof(hdr), 1, f.get()) != 1,
+             "trace header read failed");
+    fatal_if(hdr.magic != kTraceMagic, "'%s' is not a trace file",
+             path.c_str());
+    fatal_if(hdr.version != kTraceVersion,
+             "unsupported trace version %llu",
+             static_cast<unsigned long long>(hdr.version));
+    std::vector<TraceRecord> records(hdr.op_count);
+    if (hdr.op_count > 0) {
+        fatal_if(std::fread(records.data(), sizeof(TraceRecord),
+                            hdr.op_count, f.get()) != hdr.op_count,
+                 "trace body read failed");
+    }
+    return TraceReplayWorkload(std::move(records));
+}
+
+} // namespace thynvm

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the writeback cache hierarchy.
+ */
+
+#include "tests/test_util.hh"
+
+#include "cache/cache.hh"
+
+namespace thynvm {
+namespace {
+
+using test::patternBlock;
+
+/**
+ * A flat timed memory used as the level below a cache under test.
+ */
+class FakeMemory : public BlockAccessor
+{
+  public:
+    FakeMemory(EventQueue& eq, std::size_t size, Tick latency)
+        : eq_(eq), bytes_(size, 0), latency_(latency)
+    {}
+
+    void
+    accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
+                std::uint8_t* rdata, TrafficSource source,
+                std::function<void()> done) override
+    {
+        (void)source;
+        if (is_write) {
+            std::memcpy(bytes_.data() + paddr, wdata, kBlockSize);
+            ++writes;
+        } else {
+            std::memcpy(rdata, bytes_.data() + paddr, kBlockSize);
+            ++reads;
+        }
+        if (done)
+            eq_.scheduleIn(latency_, std::move(done));
+    }
+
+    void
+    functionalReadBlock(Addr paddr, std::uint8_t* buf) override
+    {
+        std::memcpy(buf, bytes_.data() + paddr, kBlockSize);
+    }
+
+    unsigned reads = 0;
+    unsigned writes = 0;
+
+  private:
+    EventQueue& eq_;
+    std::vector<std::uint8_t> bytes_;
+    Tick latency_;
+};
+
+struct CacheTest : public ::testing::Test
+{
+    CacheTest()
+        : mem(eq, 1 << 20, 100 * kNanosecond),
+          cache(eq, "l1", Cache::Params{8 * 1024, 4, kNanosecond}, mem)
+    {}
+
+    std::array<std::uint8_t, kBlockSize>
+    read(Addr addr)
+    {
+        std::array<std::uint8_t, kBlockSize> out{};
+        bool done = false;
+        cache.accessBlock(addr, false, nullptr, out.data(),
+                          TrafficSource::DemandRead,
+                          [&] { done = true; });
+        eq.runUntil([&] { return done; });
+        return out;
+    }
+
+    void
+    write(Addr addr, const std::array<std::uint8_t, kBlockSize>& data)
+    {
+        bool done = false;
+        cache.accessBlock(addr, true, data.data(), nullptr,
+                          TrafficSource::CpuWriteback,
+                          [&] { done = true; });
+        eq.runUntil([&] { return done; });
+    }
+
+    EventQueue eq;
+    FakeMemory mem;
+    Cache cache;
+};
+
+TEST_F(CacheTest, MissThenHit)
+{
+    read(0);
+    EXPECT_EQ(mem.reads, 1u);
+    read(0);
+    EXPECT_EQ(mem.reads, 1u); // second read hits
+    EXPECT_EQ(cache.stats().value("hits"), 1.0);
+    EXPECT_EQ(cache.stats().value("misses"), 1.0);
+}
+
+TEST_F(CacheTest, HitIsFasterThanMiss)
+{
+    const Tick t0 = eq.now();
+    read(64);
+    const Tick miss_time = eq.now() - t0;
+    const Tick t1 = eq.now();
+    read(64);
+    const Tick hit_time = eq.now() - t1;
+    EXPECT_LT(hit_time, miss_time);
+}
+
+TEST_F(CacheTest, WriteAllocateAndWriteback)
+{
+    auto data = patternBlock(1);
+    write(1024, data);
+    EXPECT_EQ(mem.reads, 1u); // write-allocate fill
+    EXPECT_EQ(mem.writes, 0u);
+    EXPECT_EQ(read(1024), data);
+    EXPECT_EQ(cache.dirtyBlockCount(), 1u);
+
+    // Evict by filling the set: set count = 8KB/(4*64) = 32 sets.
+    // Same set repeats every 32 blocks.
+    for (unsigned i = 1; i <= 4; ++i)
+        read(1024 + i * 32 * kBlockSize);
+    EXPECT_EQ(mem.writes, 1u); // dirty victim written back
+}
+
+TEST_F(CacheTest, WritebackDataReachesMemory)
+{
+    auto data = patternBlock(7);
+    write(2048, data);
+    // Evict it.
+    for (unsigned i = 1; i <= 4; ++i)
+        read(2048 + i * 32 * kBlockSize);
+    std::array<std::uint8_t, kBlockSize> out{};
+    mem.functionalReadBlock(2048, out.data());
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(CacheTest, LruVictimSelection)
+{
+    // Fill one set with 4 blocks, touch the first, add one more: the
+    // second-oldest should be evicted, not the recently touched one.
+    const Addr stride = 32 * kBlockSize;
+    read(0);
+    read(stride);
+    read(2 * stride);
+    read(3 * stride);
+    read(0); // refresh LRU for block 0
+    read(4 * stride);
+    EXPECT_EQ(mem.reads, 5u);
+    read(0); // must still be resident
+    EXPECT_EQ(mem.reads, 5u);
+    read(stride); // was evicted -> miss
+    EXPECT_EQ(mem.reads, 6u);
+}
+
+TEST_F(CacheTest, FlushDirtyCleansWithoutInvalidate)
+{
+    auto a = patternBlock(3);
+    auto b = patternBlock(4);
+    write(0, a);
+    write(4096, b);
+    EXPECT_EQ(cache.dirtyBlockCount(), 2u);
+
+    bool flushed = false;
+    cache.flushDirty([&] { flushed = true; });
+    eq.runUntil([&] { return flushed; });
+    EXPECT_EQ(cache.dirtyBlockCount(), 0u);
+    EXPECT_EQ(mem.writes, 2u);
+
+    // Data still resident (clean): reads hit without memory traffic.
+    const unsigned reads_before = mem.reads;
+    EXPECT_EQ(read(0), a);
+    EXPECT_EQ(read(4096), b);
+    EXPECT_EQ(mem.reads, reads_before);
+}
+
+TEST_F(CacheTest, FlushOnCleanCacheCompletesImmediately)
+{
+    bool flushed = false;
+    cache.flushDirty([&] { flushed = true; });
+    eq.runUntil([&] { return flushed; });
+    EXPECT_EQ(mem.writes, 0u);
+}
+
+TEST_F(CacheTest, InvalidateAllDropsContents)
+{
+    auto data = patternBlock(9);
+    write(0, data);
+    cache.invalidateAll();
+    EXPECT_EQ(cache.dirtyBlockCount(), 0u);
+    const unsigned reads_before = mem.reads;
+    read(0);
+    EXPECT_EQ(mem.reads, reads_before + 1); // miss again
+}
+
+TEST_F(CacheTest, FunctionalReadSeesDirtyLine)
+{
+    auto data = patternBlock(5);
+    write(512, data);
+    std::array<std::uint8_t, kBlockSize> out{};
+    cache.functionalReadBlock(512, out.data());
+    EXPECT_EQ(out, data);
+    // A block not in the cache falls through to memory.
+    cache.functionalReadBlock(8192, out.data());
+    EXPECT_EQ(out, (std::array<std::uint8_t, kBlockSize>{}));
+}
+
+TEST(CacheHierarchyTest, ThreeLevelDataPath)
+{
+    EventQueue eq;
+    FakeMemory mem(eq, 1 << 20, 100 * kNanosecond);
+    Cache l3(eq, "l3", Cache::Params{64 * 1024, 16, 9 * kNanosecond},
+             mem);
+    Cache l2(eq, "l2", Cache::Params{16 * 1024, 8, 4 * kNanosecond}, l3);
+    Cache l1(eq, "l1", Cache::Params{4 * 1024, 8, kNanosecond}, l2);
+
+    auto data = patternBlock(42);
+    bool done = false;
+    l1.accessBlock(4096, true, data.data(), nullptr,
+                   TrafficSource::CpuWriteback, [&] { done = true; });
+    eq.runUntil([&] { return done; });
+
+    // Functional view through the hierarchy sees the write at L1.
+    std::array<std::uint8_t, kBlockSize> out{};
+    l1.functionalReadBlock(4096, out.data());
+    EXPECT_EQ(out, data);
+
+    // Sequential flushes push it all the way to memory.
+    bool f = false;
+    l1.flushDirty([&] { f = true; });
+    eq.runUntil([&] { return f; });
+    f = false;
+    l2.flushDirty([&] { f = true; });
+    eq.runUntil([&] { return f; });
+    f = false;
+    l3.flushDirty([&] { f = true; });
+    eq.runUntil([&] { return f; });
+
+    mem.functionalReadBlock(4096, out.data());
+    EXPECT_EQ(out, data);
+}
+
+} // namespace
+} // namespace thynvm

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Unit tests for the in-order trace CPU.
+ */
+
+#include "tests/test_util.hh"
+
+#include "cpu/cpu.hh"
+
+namespace thynvm {
+namespace {
+
+/** Zero-latency-ish flat memory for CPU tests. */
+class FlatMemory : public BlockAccessor
+{
+  public:
+    FlatMemory(EventQueue& eq, std::size_t size, Tick latency)
+        : eq_(eq), bytes_(size, 0), latency_(latency)
+    {}
+
+    void
+    accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
+                std::uint8_t* rdata, TrafficSource,
+                std::function<void()> done) override
+    {
+        if (is_write) {
+            std::memcpy(bytes_.data() + paddr, wdata, kBlockSize);
+            ++writes;
+        } else {
+            std::memcpy(rdata, bytes_.data() + paddr, kBlockSize);
+            ++reads;
+        }
+        if (done)
+            eq_.scheduleIn(latency_, std::move(done));
+    }
+
+    void
+    functionalReadBlock(Addr paddr, std::uint8_t* buf) override
+    {
+        std::memcpy(buf, bytes_.data() + paddr, kBlockSize);
+    }
+
+    std::vector<std::uint8_t> bytes_;
+    unsigned reads = 0;
+    unsigned writes = 0;
+
+  private:
+    EventQueue& eq_;
+    Tick latency_;
+};
+
+/** A workload driven from an explicit op list. */
+class ScriptedWorkload : public Workload
+{
+  public:
+    bool
+    next(WorkOp& op) override
+    {
+        if (pos_ >= script.size())
+            return false;
+        op = script[pos_++];
+        return true;
+    }
+
+    void
+    deliver(const std::uint8_t* data, std::size_t len) override
+    {
+        delivered.assign(data, data + len);
+    }
+
+    std::vector<WorkOp> script;
+    std::vector<std::uint8_t> delivered;
+
+  private:
+    std::size_t pos_ = 0;
+};
+
+struct CpuTest : public ::testing::Test
+{
+    CpuTest() : mem(eq, 1 << 16, 10 * kNanosecond) {}
+
+    void
+    runAll(ScriptedWorkload& wl)
+    {
+        cpu = std::make_unique<TraceCpu>(eq, "cpu", TraceCpu::Params{},
+                                         mem, wl);
+        cpu->start();
+        eq.runUntil([&] { return cpu->finished(); });
+    }
+
+    EventQueue eq;
+    FlatMemory mem;
+    std::unique_ptr<TraceCpu> cpu;
+};
+
+TEST_F(CpuTest, ComputeAdvancesTimeByCycles)
+{
+    ScriptedWorkload wl;
+    WorkOp op;
+    op.kind = WorkOp::Kind::Compute;
+    op.count = 1000;
+    wl.script.push_back(op);
+    runAll(wl);
+    EXPECT_EQ(cpu->instructions(), 1000u);
+    EXPECT_GE(eq.now(), 1000u * 333u);
+    EXPECT_LT(eq.now(), 1100u * 333u);
+}
+
+TEST_F(CpuTest, StoreThenLoadRoundTrips)
+{
+    std::vector<std::uint8_t> payload(kBlockSize);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::uint8_t>(i * 3 + 1);
+
+    ScriptedWorkload wl;
+    WorkOp st;
+    st.kind = WorkOp::Kind::Store;
+    st.addr = 128;
+    st.size = kBlockSize;
+    st.data = payload.data();
+    wl.script.push_back(st);
+    WorkOp ld;
+    ld.kind = WorkOp::Kind::Load;
+    ld.addr = 128;
+    ld.size = kBlockSize;
+    wl.script.push_back(ld);
+    runAll(wl);
+    EXPECT_EQ(wl.delivered, payload);
+    EXPECT_EQ(cpu->instructions(), 2u);
+}
+
+TEST_F(CpuTest, UnalignedLoadSpansBlocks)
+{
+    for (std::size_t i = 0; i < 256; ++i)
+        mem.bytes_[i] = static_cast<std::uint8_t>(i);
+
+    ScriptedWorkload wl;
+    WorkOp ld;
+    ld.kind = WorkOp::Kind::Load;
+    ld.addr = 60; // crosses the block boundary at 64
+    ld.size = 16;
+    wl.script.push_back(ld);
+    runAll(wl);
+    ASSERT_EQ(wl.delivered.size(), 16u);
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(wl.delivered[i], static_cast<std::uint8_t>(60 + i));
+    EXPECT_EQ(mem.reads, 2u);
+}
+
+TEST_F(CpuTest, PartialStoreReadModifiesWrites)
+{
+    for (std::size_t i = 0; i < 64; ++i)
+        mem.bytes_[i] = 0xAA;
+
+    std::vector<std::uint8_t> payload = {1, 2, 3, 4};
+    ScriptedWorkload wl;
+    WorkOp st;
+    st.kind = WorkOp::Kind::Store;
+    st.addr = 8;
+    st.size = 4;
+    st.data = payload.data();
+    wl.script.push_back(st);
+    runAll(wl);
+
+    // Partial store = fill + merge + writeback.
+    EXPECT_EQ(mem.reads, 1u);
+    EXPECT_EQ(mem.writes, 1u);
+    EXPECT_EQ(mem.bytes_[7], 0xAA);
+    EXPECT_EQ(mem.bytes_[8], 1);
+    EXPECT_EQ(mem.bytes_[11], 4);
+    EXPECT_EQ(mem.bytes_[12], 0xAA);
+}
+
+TEST_F(CpuTest, LargeStoreWritesWholeBlocks)
+{
+    std::vector<std::uint8_t> payload(4096, 0x5A);
+    ScriptedWorkload wl;
+    WorkOp st;
+    st.kind = WorkOp::Kind::Store;
+    st.addr = 0;
+    st.size = 4096;
+    st.data = payload.data();
+    wl.script.push_back(st);
+    runAll(wl);
+    EXPECT_EQ(mem.writes, 64u);
+    EXPECT_EQ(mem.reads, 0u); // all pieces are full blocks
+    for (std::size_t i = 0; i < 4096; ++i)
+        ASSERT_EQ(mem.bytes_[i], 0x5A);
+}
+
+TEST_F(CpuTest, MemStallTimeAccrues)
+{
+    ScriptedWorkload wl;
+    WorkOp ld;
+    ld.kind = WorkOp::Kind::Load;
+    ld.addr = 0;
+    ld.size = kBlockSize;
+    wl.script.push_back(ld);
+    runAll(wl);
+    EXPECT_GE(cpu->memStallTime(), 10 * kNanosecond);
+}
+
+TEST_F(CpuTest, PauseAtInstructionBoundaryAndResume)
+{
+    ScriptedWorkload wl;
+    for (int i = 0; i < 10; ++i) {
+        WorkOp op;
+        op.kind = WorkOp::Kind::Compute;
+        op.count = 100;
+        wl.script.push_back(op);
+    }
+    cpu = std::make_unique<TraceCpu>(eq, "cpu", TraceCpu::Params{}, mem,
+                                     wl);
+    cpu->start();
+    eq.run(eq.now() + 50 * 333);
+
+    bool paused = false;
+    cpu->pause([&] { paused = true; });
+    eq.runUntil([&] { return paused; });
+    EXPECT_FALSE(cpu->finished());
+    const std::uint64_t insts_at_pause = cpu->instructions();
+
+    // Time passes while paused; no instructions retire.
+    eq.run(eq.now() + 100 * kNanosecond);
+    EXPECT_EQ(cpu->instructions(), insts_at_pause);
+
+    cpu->resume();
+    eq.runUntil([&] { return cpu->finished(); });
+    EXPECT_EQ(cpu->instructions(), 1000u);
+    EXPECT_GE(cpu->pausedTime(), 100 * kNanosecond);
+}
+
+TEST_F(CpuTest, ArchStateRoundTrip)
+{
+    ScriptedWorkload wl;
+    WorkOp op;
+    op.kind = WorkOp::Kind::Compute;
+    op.count = 7;
+    wl.script.push_back(op);
+    runAll(wl);
+
+    auto blob = cpu->archState();
+    TraceCpu other(eq, "cpu2", TraceCpu::Params{}, mem, wl);
+    other.restoreArchState(blob);
+    EXPECT_EQ(other.instructions(), 7u);
+}
+
+TEST_F(CpuTest, FinishedCallbackFires)
+{
+    ScriptedWorkload wl;
+    WorkOp op;
+    op.kind = WorkOp::Kind::Compute;
+    op.count = 1;
+    wl.script.push_back(op);
+    cpu = std::make_unique<TraceCpu>(eq, "cpu", TraceCpu::Params{}, mem,
+                                     wl);
+    bool finished = false;
+    cpu->setFinishedCallback([&] { finished = true; });
+    cpu->start();
+    eq.runUntil([&] { return cpu->finished(); });
+    EXPECT_TRUE(finished);
+}
+
+} // namespace
+} // namespace thynvm

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Property-based crash-consistency tests.
+ *
+ * The central property of ThyNVM (and of the journaling and shadow
+ * paging baselines): after a power failure at an *arbitrary* instant,
+ * recovery yields exactly the memory image that existed at the most
+ * recent committed epoch boundary — never a torn mixture.
+ *
+ * The test drives a controller directly with randomized store batches,
+ * records a golden host-side image at every epoch boundary it
+ * requests, then crashes at a random event inside the next batch or
+ * checkpoint and verifies the recovered image equals the golden image
+ * of whatever epoch the controller reports as committed.
+ */
+
+#include "tests/test_util.hh"
+
+#include <map>
+
+#include "baselines/journal.hh"
+#include "baselines/shadow.hh"
+#include "common/rng.hh"
+#include "core/thynvm_controller.hh"
+
+namespace thynvm {
+namespace {
+
+using test::patternBlock;
+
+constexpr std::size_t kPhys = 128 * 1024;
+
+/** Read the whole software-visible image. */
+std::vector<std::uint8_t>
+snapshotImage(MemController& ctrl)
+{
+    std::vector<std::uint8_t> img(kPhys);
+    ctrl.functionalRead(0, img.data(), img.size());
+    return img;
+}
+
+struct CrashDriver
+{
+    explicit CrashDriver(std::uint64_t seed) : rng(seed)
+    {
+        mirror.assign(kPhys, 0);
+    }
+
+    /** Issue one random store; returns once acknowledged. */
+    void
+    randomStore(EventQueue& eq, MemController& ctrl)
+    {
+        const Addr addr =
+            rng.below(kPhys / kBlockSize) * kBlockSize;
+        auto data = patternBlock(rng.next());
+        std::memcpy(mirror.data() + addr, data.data(), kBlockSize);
+        test::storeBlock(eq, ctrl, addr, data);
+    }
+
+    Rng rng;
+    std::vector<std::uint8_t> mirror;
+    /** Golden image per committed epoch id. */
+    std::map<std::uint64_t, std::vector<std::uint8_t>> golden;
+};
+
+/**
+ * Run the scenario on a ThyNVM controller with a crash after
+ * @p crash_steps extra events, then verify recovery.
+ */
+void
+runThyNvmCrashScenario(std::uint64_t seed, unsigned epochs_before_crash,
+                       unsigned crash_steps)
+{
+    ThyNvmConfig cfg;
+    cfg.phys_size = kPhys;
+    // One entry per block: overflow never forces an epoch mid-batch, so
+    // epoch ids match the manual boundaries below exactly.
+    cfg.btt_entries = kPhys / kBlockSize;
+    cfg.ptt_entries = 6;
+    cfg.epoch_length = kMillisecond; // effectively manual boundaries
+    cfg.promote_threshold = 8;       // exercise both schemes
+    cfg.demote_threshold = 4;
+
+    EventQueue eq;
+    auto ctrl =
+        std::make_unique<ThyNvmController>(eq, "ctrl", cfg, nullptr);
+    CrashDriver drv(seed);
+    // Nonzero initial image.
+    for (Addr a = 0; a < kPhys; a += kBlockSize) {
+        auto blk = patternBlock(a / kBlockSize + seed);
+        ctrl->loadImage(a, blk.data(), kBlockSize);
+        std::memcpy(drv.mirror.data() + a, blk.data(), kBlockSize);
+    }
+    drv.golden[0] = drv.mirror;
+    ctrl->start();
+
+    for (unsigned e = 1; e <= epochs_before_crash; ++e) {
+        const unsigned batch = 4 + drv.rng.below(24);
+        for (unsigned i = 0; i < batch; ++i)
+            drv.randomStore(eq, *ctrl);
+        // Epoch boundary: the image at this instant is the golden
+        // recovery target for epoch e.
+        drv.golden[e] = drv.mirror;
+        const auto done = ctrl->completedEpochs();
+        ctrl->requestEpochEnd();
+        eq.runUntil([&] {
+            return ctrl->completedEpochs() == done + 1 &&
+                   !ctrl->checkpointInProgress();
+        });
+        ASSERT_EQ(snapshotImage(*ctrl), drv.mirror);
+    }
+
+    // Next epoch: more stores, a boundary request, and a crash at an
+    // arbitrary number of events into the checkpoint.
+    const unsigned batch = 4 + drv.rng.below(24);
+    for (unsigned i = 0; i < batch; ++i)
+        drv.randomStore(eq, *ctrl);
+    drv.golden[epochs_before_crash + 1] = drv.mirror;
+    ctrl->requestEpochEnd();
+    for (unsigned s = 0; s < crash_steps && !eq.empty(); ++s)
+        eq.step();
+
+    // Power failure.
+    auto nvm = ctrl->nvmStoreHandle();
+    ctrl->crash();
+    eq.clear();
+
+    // Reboot and recover.
+    ctrl = std::make_unique<ThyNvmController>(eq, "ctrl", cfg, nvm);
+    bool recovered = false;
+    ctrl->recover([&] { recovered = true; });
+    eq.runUntil([&] { return recovered; });
+    ctrl->start();
+
+    const std::uint64_t committed = ctrl->currentEpoch() - 1;
+    EXPECT_GE(committed, epochs_before_crash > 0 ? epochs_before_crash
+                                                 : 0u);
+    // Epochs past the last store batch (idle timer boundaries during
+    // the crash-step window) all have the final mirror image.
+    const std::vector<std::uint8_t>& expect =
+        drv.golden.count(committed) ? drv.golden[committed]
+                                    : drv.mirror;
+    EXPECT_EQ(snapshotImage(*ctrl), expect)
+        << "seed=" << seed << " crash_steps=" << crash_steps
+        << " committed=" << committed;
+
+    // The recovered system must be fully operational.
+    drv.mirror = drv.golden[committed];
+    for (unsigned i = 0; i < 8; ++i)
+        drv.randomStore(eq, *ctrl);
+    EXPECT_EQ(snapshotImage(*ctrl), drv.mirror);
+}
+
+struct ThyNvmCrashParam
+{
+    std::uint64_t seed;
+    unsigned epochs;
+    unsigned crash_steps;
+};
+
+class ThyNvmCrashTest
+    : public ::testing::TestWithParam<ThyNvmCrashParam>
+{};
+
+TEST_P(ThyNvmCrashTest, RecoversToCommittedEpochImage)
+{
+    const auto& p = GetParam();
+    runThyNvmCrashScenario(p.seed, p.epochs, p.crash_steps);
+}
+
+std::vector<ThyNvmCrashParam>
+makeCrashParams()
+{
+    std::vector<ThyNvmCrashParam> params;
+    Rng rng(0xC0FFEE);
+    for (unsigned i = 0; i < 40; ++i) {
+        params.push_back(ThyNvmCrashParam{
+            1000 + i,
+            static_cast<unsigned>(rng.below(4)),
+            static_cast<unsigned>(rng.below(400)),
+        });
+    }
+    return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCrashes, ThyNvmCrashTest,
+                         ::testing::ValuesIn(makeCrashParams()));
+
+/**
+ * Crash consistency under table pressure: with tiny tables, overflow
+ * forces epoch boundaries at arbitrary store positions, so the precise
+ * epoch-to-image mapping is unknown. The invariant still holds that
+ * any recovered image equals the memory state at *some* store
+ * boundary already reached (never a torn mixture), because epoch
+ * flushes happen between acknowledged stores.
+ */
+class ThyNvmOverflowCrashTest : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ThyNvmOverflowCrashTest, RecoversToSomeStoreBoundary)
+{
+    const std::uint64_t seed = 7000 + GetParam();
+    ThyNvmConfig cfg;
+    cfg.phys_size = kPhys;
+    cfg.btt_entries = 24; // overflows constantly
+    cfg.ptt_entries = 4;
+    cfg.epoch_length = kMillisecond;
+    cfg.promote_threshold = 6;
+    cfg.demote_threshold = 3;
+
+    EventQueue eq;
+    auto ctrl =
+        std::make_unique<ThyNvmController>(eq, "ctrl", cfg, nullptr);
+    CrashDriver drv(seed);
+    ctrl->start();
+
+    std::vector<std::vector<std::uint8_t>> history;
+    history.push_back(drv.mirror);
+    const unsigned stores = 40 + seed % 40;
+    for (unsigned i = 0; i < stores; ++i) {
+        drv.randomStore(eq, *ctrl);
+        history.push_back(drv.mirror);
+    }
+    ctrl->requestEpochEnd();
+    const unsigned steps = static_cast<unsigned>((seed * 97) % 500);
+    for (unsigned s = 0; s < steps && !eq.empty(); ++s)
+        eq.step();
+
+    auto nvm = ctrl->nvmStoreHandle();
+    ctrl->crash();
+    eq.clear();
+
+    ctrl = std::make_unique<ThyNvmController>(eq, "ctrl", cfg, nvm);
+    bool recovered = false;
+    ctrl->recover([&] { recovered = true; });
+    eq.runUntil([&] { return recovered; });
+
+    const auto img = snapshotImage(*ctrl);
+    bool found = false;
+    for (const auto& h : history) {
+        if (img == h) {
+            found = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found) << "seed " << seed
+                       << ": recovered image matches no store boundary";
+}
+
+INSTANTIATE_TEST_SUITE_P(OverflowCrashes, ThyNvmOverflowCrashTest,
+                         ::testing::Range(0, 20));
+
+/**
+ * Same property for the journaling baseline.
+ */
+TEST(JournalCrashTest, RecoversToCommittedEpochImage)
+{
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        JournalConfig cfg;
+        cfg.phys_size = kPhys;
+        cfg.table_entries = 64;
+        cfg.table_headroom = 512;
+        cfg.epoch_length = kMillisecond;
+
+        EventQueue eq;
+        auto ctrl =
+            std::make_unique<JournalController>(eq, "ctrl", cfg, nullptr);
+        CrashDriver drv(seed);
+        ctrl->start();
+        drv.golden[0] = drv.mirror;
+
+        for (unsigned i = 0; i < 20; ++i)
+            drv.randomStore(eq, *ctrl);
+        drv.golden[1] = drv.mirror;
+        ctrl->requestEpochEnd();
+        eq.runUntil([&] { return ctrl->completedEpochs() == 1; });
+
+        for (unsigned i = 0; i < 10; ++i)
+            drv.randomStore(eq, *ctrl);
+        ctrl->requestEpochEnd();
+        const unsigned steps = static_cast<unsigned>(seed * 37 % 300);
+        for (unsigned s = 0; s < steps && !eq.empty(); ++s)
+            eq.step();
+
+        auto nvm = ctrl->nvmStoreHandle();
+        ctrl->crash();
+        eq.clear();
+
+        ctrl = std::make_unique<JournalController>(eq, "ctrl", cfg, nvm);
+        bool recovered = false;
+        ctrl->recover([&] { recovered = true; });
+        eq.runUntil([&] { return recovered; });
+
+        const auto img = snapshotImage(*ctrl);
+        const bool matches_any =
+            img == drv.golden[0] || img == drv.golden[1] ||
+            img == drv.mirror;
+        EXPECT_TRUE(matches_any) << "journal seed " << seed
+                                 << ": torn recovery image";
+    }
+}
+
+/**
+ * Same property for the shadow paging baseline.
+ */
+TEST(ShadowCrashTest, RecoversToCommittedEpochImage)
+{
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        ShadowConfig cfg;
+        cfg.phys_size = kPhys;
+        cfg.dram_size = 64 * 1024;
+        cfg.epoch_length = kMillisecond;
+
+        EventQueue eq;
+        auto ctrl =
+            std::make_unique<ShadowController>(eq, "ctrl", cfg, nullptr);
+        CrashDriver drv(seed);
+        ctrl->start();
+        drv.golden[0] = drv.mirror;
+
+        for (unsigned i = 0; i < 20; ++i)
+            drv.randomStore(eq, *ctrl);
+        drv.golden[1] = drv.mirror;
+        ctrl->requestEpochEnd();
+        eq.runUntil([&] { return ctrl->completedEpochs() == 1; });
+
+        for (unsigned i = 0; i < 10; ++i)
+            drv.randomStore(eq, *ctrl);
+        ctrl->requestEpochEnd();
+        const unsigned steps = static_cast<unsigned>(seed * 53 % 300);
+        for (unsigned s = 0; s < steps && !eq.empty(); ++s)
+            eq.step();
+
+        auto nvm = ctrl->nvmStoreHandle();
+        ctrl->crash();
+        eq.clear();
+
+        ctrl = std::make_unique<ShadowController>(eq, "ctrl", cfg, nvm);
+        bool recovered = false;
+        ctrl->recover([&] { recovered = true; });
+        eq.runUntil([&] { return recovered; });
+
+        const auto img = snapshotImage(*ctrl);
+        const bool matches_any =
+            img == drv.golden[0] || img == drv.golden[1] ||
+            img == drv.mirror;
+        EXPECT_TRUE(matches_any) << "shadow seed " << seed
+                                 << ": torn recovery image";
+    }
+}
+
+} // namespace
+} // namespace thynvm

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/eventq.hh"
+
+namespace thynvm {
+namespace {
+
+TEST(EventQueueTest, OrdersByTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueueTest, FifoTieBreak)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(5, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick fired_at = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(50, [&] { fired_at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(EventQueueTest, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(5, [] {}), PanicError);
+}
+
+TEST(EventQueueTest, RunWithLimitStops)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(1000, [&] { ++fired; });
+    eq.run(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 100u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, ReusableEventFiresAndClears)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event ev([&] { ++fired; });
+    eq.schedule(ev, 10);
+    EXPECT_TRUE(ev.scheduled());
+    EXPECT_EQ(ev.when(), 10u);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(ev.scheduled());
+    // Re-arm after firing.
+    eq.schedule(ev, 20);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, DescheduleCancels)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event ev([&] { ++fired; });
+    eq.schedule(ev, 10);
+    eq.deschedule(ev);
+    EXPECT_FALSE(ev.scheduled());
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, DescheduleThenRescheduleFiresOnce)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event ev([&] { ++fired; });
+    eq.schedule(ev, 10);
+    eq.deschedule(ev);
+    eq.schedule(ev, 30);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueueTest, DoubleScheduleReusableEventPanics)
+{
+    EventQueue eq;
+    Event ev([] {});
+    eq.schedule(ev, 10);
+    EXPECT_THROW(eq.schedule(ev, 20), PanicError);
+}
+
+TEST(EventQueueTest, RunUntilCondition)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i)
+        eq.schedule(i * 10, [&] { ++count; });
+    eq.runUntil([&] { return count == 4; });
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueueTest, ClearDropsEverything)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.clear();
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, TimeAdvancesAcrossClear)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    eq.clear();
+    EXPECT_EQ(eq.now(), 100u);
+    eq.schedule(150, [] {});
+    eq.run();
+    EXPECT_EQ(eq.now(), 150u);
+}
+
+} // namespace
+} // namespace thynvm

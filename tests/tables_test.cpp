@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the address-space layout and translation tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tables.hh"
+
+namespace thynvm {
+namespace {
+
+ThyNvmConfig
+smallConfig()
+{
+    ThyNvmConfig cfg;
+    cfg.phys_size = 1u << 20;
+    cfg.btt_entries = 64;
+    cfg.ptt_entries = 16;
+    return cfg;
+}
+
+TEST(LayoutTest, RegionsAreDisjointAndOrdered)
+{
+    ThyNvmConfig cfg = smallConfig();
+    AddressLayout lay(cfg);
+
+    // Home region covers [0, phys).
+    EXPECT_EQ(lay.homeAddr(0), 0u);
+    EXPECT_EQ(lay.homeAddr(cfg.phys_size - kBlockSize),
+              cfg.phys_size - kBlockSize);
+
+    // Region A page slots follow the home region.
+    EXPECT_EQ(lay.ckptAPageSlot(0), cfg.phys_size);
+    EXPECT_EQ(lay.ckptAPageSlot(15), cfg.phys_size + 15 * kPageSize);
+
+    // Region A block slots follow the page slots.
+    EXPECT_EQ(lay.ckptABlockSlot(0),
+              cfg.phys_size + cfg.ptt_entries * kPageSize);
+
+    // Backup slots are last and sized identically.
+    EXPECT_GT(lay.backupSlot(0), lay.ckptABlockSlot(63));
+    EXPECT_EQ(lay.backupSlot(1) - lay.backupSlot(0),
+              lay.backupSlotSize());
+    EXPECT_EQ(lay.nvmSize(), lay.backupSlot(1) + lay.backupSlotSize());
+}
+
+TEST(LayoutTest, DramLayout)
+{
+    ThyNvmConfig cfg = smallConfig();
+    AddressLayout lay(cfg);
+    EXPECT_EQ(lay.dramPageSlot(0), 0u);
+    EXPECT_EQ(lay.dramBlockSlot(0), cfg.ptt_entries * kPageSize);
+    EXPECT_EQ(lay.dramOverflowSlot(0),
+              cfg.ptt_entries * kPageSize + cfg.btt_entries * kBlockSize);
+    EXPECT_EQ(lay.dramSize(),
+              cfg.ptt_entries * kPageSize +
+                  (cfg.btt_entries + cfg.overflow_entries) * kBlockSize);
+    EXPECT_EQ(lay.dramSize(), cfg.dramSize());
+}
+
+TEST(LayoutTest, BlockSlotRegionBIsHome)
+{
+    ThyNvmConfig cfg = smallConfig();
+    AddressLayout lay(cfg);
+    EXPECT_EQ(lay.blockSlot(CkptRegion::B, 5, 4096 + 128), 4096u + 128u);
+    EXPECT_EQ(lay.blockSlot(CkptRegion::A, 5, 4096 + 128),
+              lay.ckptABlockSlot(5));
+}
+
+TEST(LayoutTest, PageSlotRegionBIsHome)
+{
+    ThyNvmConfig cfg = smallConfig();
+    AddressLayout lay(cfg);
+    EXPECT_EQ(lay.pageSlot(CkptRegion::B, 3, 8192), 8192u);
+    EXPECT_EQ(lay.pageSlot(CkptRegion::A, 3, 8192), lay.ckptAPageSlot(3));
+}
+
+TEST(LayoutTest, OutOfRangePanics)
+{
+    ThyNvmConfig cfg = smallConfig();
+    AddressLayout lay(cfg);
+    EXPECT_THROW(lay.homeAddr(cfg.phys_size), PanicError);
+    EXPECT_THROW(lay.ckptAPageSlot(16), PanicError);
+    EXPECT_THROW(lay.ckptABlockSlot(64), PanicError);
+    EXPECT_THROW(lay.backupSlot(2), PanicError);
+}
+
+TEST(LayoutTest, BackupSlotHoldsTablesAndCpuState)
+{
+    ThyNvmConfig cfg = smallConfig();
+    AddressLayout lay(cfg);
+    const std::size_t need =
+        kBlockSize + (cfg.btt_entries + cfg.ptt_entries) *
+                         AddressLayout::kEntryBytes +
+        cfg.cpu_state_max;
+    EXPECT_GE(lay.backupSlotSize(), need);
+    EXPECT_EQ(lay.backupSlotSize() % kBlockSize, 0u);
+}
+
+TEST(OtherRegionTest, Flips)
+{
+    EXPECT_EQ(otherRegion(CkptRegion::A), CkptRegion::B);
+    EXPECT_EQ(otherRegion(CkptRegion::B), CkptRegion::A);
+}
+
+TEST(TranslationTableTest, AllocateLookupRelease)
+{
+    Btt btt(4);
+    EXPECT_EQ(btt.capacity(), 4u);
+    EXPECT_EQ(btt.live(), 0u);
+    EXPECT_EQ(btt.lookup(64), Btt::npos);
+
+    const std::size_t i = btt.allocate(64);
+    ASSERT_NE(i, Btt::npos);
+    EXPECT_EQ(btt.lookup(64), i);
+    EXPECT_EQ(btt.at(i).block_paddr, 64u);
+    EXPECT_EQ(btt.live(), 1u);
+
+    btt.release(i);
+    EXPECT_EQ(btt.lookup(64), Btt::npos);
+    EXPECT_EQ(btt.live(), 0u);
+}
+
+TEST(TranslationTableTest, FillsToCapacity)
+{
+    Btt btt(4);
+    for (Addr a = 0; a < 4; ++a)
+        ASSERT_NE(btt.allocate(a * 64), Btt::npos);
+    EXPECT_TRUE(btt.full());
+    EXPECT_EQ(btt.allocate(1024), Btt::npos);
+    btt.release(btt.lookup(0));
+    EXPECT_FALSE(btt.full());
+    EXPECT_NE(btt.allocate(1024), Btt::npos);
+}
+
+TEST(TranslationTableTest, DuplicateAllocationPanics)
+{
+    Btt btt(4);
+    btt.allocate(64);
+    EXPECT_THROW(btt.allocate(64), PanicError);
+}
+
+TEST(TranslationTableTest, AllocateAtRestoresIndex)
+{
+    Btt btt(8);
+    btt.allocate(0);
+    btt.clear();
+    EXPECT_EQ(btt.allocateAt(5, 320), 5u);
+    EXPECT_EQ(btt.lookup(320), 5u);
+    // The slot is no longer free.
+    EXPECT_THROW(btt.allocateAt(5, 640), PanicError);
+}
+
+TEST(TranslationTableTest, ForEachLiveVisitsAll)
+{
+    Ptt ptt(8);
+    ptt.allocate(0);
+    ptt.allocate(4096);
+    ptt.allocate(8192);
+    std::size_t visits = 0;
+    ptt.forEachLive([&](std::size_t, PttEntry& e) {
+        EXPECT_NE(e.page_paddr, kInvalidAddr);
+        ++visits;
+    });
+    EXPECT_EQ(visits, 3u);
+}
+
+TEST(TranslationTableTest, ClearResetsEverything)
+{
+    Btt btt(4);
+    btt.allocate(0);
+    btt.allocate(64);
+    btt.clear();
+    EXPECT_EQ(btt.live(), 0u);
+    EXPECT_EQ(btt.lookup(0), Btt::npos);
+    for (Addr a = 0; a < 4; ++a)
+        ASSERT_NE(btt.allocate(a * 64), Btt::npos);
+}
+
+TEST(TranslationTableTest, EntryStateResetOnAllocate)
+{
+    Btt btt(2);
+    const std::size_t i = btt.allocate(64);
+    btt.at(i).pending = true;
+    btt.at(i).store_count = 9;
+    btt.release(i);
+    const std::size_t j = btt.allocate(64);
+    EXPECT_EQ(i, j); // LIFO free list reuses the slot
+    EXPECT_FALSE(btt.at(j).pending);
+    EXPECT_EQ(btt.at(j).store_count, 0u);
+}
+
+} // namespace
+} // namespace thynvm

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared helpers for the ThyNVM test suite.
+ */
+
+#ifndef THYNVM_TESTS_TEST_UTIL_HH
+#define THYNVM_TESTS_TEST_UTIL_HH
+
+#include <array>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+#include "mem/controller.hh"
+#include "sim/eventq.hh"
+
+namespace thynvm {
+namespace test {
+
+/** A 64-byte block filled with a deterministic pattern of @p tag. */
+inline std::array<std::uint8_t, kBlockSize>
+patternBlock(std::uint64_t tag)
+{
+    std::array<std::uint8_t, kBlockSize> data{};
+    std::uint64_t v = tag * 0x9e3779b97f4a7c15ULL + 1;
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+        data[i] = static_cast<std::uint8_t>(v >> ((i % 8) * 8));
+        if (i % 8 == 7)
+            v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    }
+    return data;
+}
+
+/**
+ * Synchronous store through a controller: issues the access and runs
+ * the event queue until the posted-write acknowledgment.
+ */
+inline void
+storeBlock(EventQueue& eq, MemController& ctrl, Addr paddr,
+           const std::array<std::uint8_t, kBlockSize>& data)
+{
+    bool done = false;
+    ctrl.accessBlock(paddr, true, data.data(), nullptr,
+                     TrafficSource::CpuWriteback, [&done] { done = true; });
+    eq.runUntil([&done] { return done; });
+}
+
+/** Synchronous load through a controller. */
+inline std::array<std::uint8_t, kBlockSize>
+loadBlock(EventQueue& eq, MemController& ctrl, Addr paddr)
+{
+    std::array<std::uint8_t, kBlockSize> data{};
+    bool done = false;
+    ctrl.accessBlock(paddr, false, nullptr, data.data(),
+                     TrafficSource::DemandRead, [&done] { done = true; });
+    eq.runUntil([&done] { return done; });
+    return data;
+}
+
+/** Run the queue until it is idle (drained) or @p limit is reached. */
+inline void
+settle(EventQueue& eq, Tick limit_delta = 100 * kMillisecond)
+{
+    eq.run(eq.now() + limit_delta);
+}
+
+} // namespace test
+} // namespace thynvm
+
+#endif // THYNVM_TESTS_TEST_UTIL_HH
