@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/checkpoint_anatomy.cpp" "examples/CMakeFiles/checkpoint_anatomy.dir/checkpoint_anatomy.cpp.o" "gcc" "examples/CMakeFiles/checkpoint_anatomy.dir/checkpoint_anatomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/thynvm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/thynvm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/thynvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/thynvm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/thynvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/thynvm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/thynvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/thynvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_anatomy.dir/checkpoint_anatomy.cpp.o"
+  "CMakeFiles/checkpoint_anatomy.dir/checkpoint_anatomy.cpp.o.d"
+  "checkpoint_anatomy"
+  "checkpoint_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thynvm_baselines.dir/journal.cc.o"
+  "CMakeFiles/thynvm_baselines.dir/journal.cc.o.d"
+  "CMakeFiles/thynvm_baselines.dir/shadow.cc.o"
+  "CMakeFiles/thynvm_baselines.dir/shadow.cc.o.d"
+  "libthynvm_baselines.a"
+  "libthynvm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thynvm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libthynvm_baselines.a"
+)

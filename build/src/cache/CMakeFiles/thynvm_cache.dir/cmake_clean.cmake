@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thynvm_cache.dir/cache.cc.o"
+  "CMakeFiles/thynvm_cache.dir/cache.cc.o.d"
+  "libthynvm_cache.a"
+  "libthynvm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thynvm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thynvm_common.dir/logging.cc.o"
+  "CMakeFiles/thynvm_common.dir/logging.cc.o.d"
+  "CMakeFiles/thynvm_common.dir/stats.cc.o"
+  "CMakeFiles/thynvm_common.dir/stats.cc.o.d"
+  "libthynvm_common.a"
+  "libthynvm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thynvm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thynvm_core.dir/thynvm_controller.cc.o"
+  "CMakeFiles/thynvm_core.dir/thynvm_controller.cc.o.d"
+  "libthynvm_core.a"
+  "libthynvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thynvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thynvm_cpu.dir/cpu.cc.o"
+  "CMakeFiles/thynvm_cpu.dir/cpu.cc.o.d"
+  "libthynvm_cpu.a"
+  "libthynvm_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thynvm_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thynvm_harness.dir/system.cc.o"
+  "CMakeFiles/thynvm_harness.dir/system.cc.o.d"
+  "libthynvm_harness.a"
+  "libthynvm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thynvm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

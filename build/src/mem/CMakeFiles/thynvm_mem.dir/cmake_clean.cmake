@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thynvm_mem.dir/device.cc.o"
+  "CMakeFiles/thynvm_mem.dir/device.cc.o.d"
+  "libthynvm_mem.a"
+  "libthynvm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thynvm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/hashtable.cc" "src/workloads/CMakeFiles/thynvm_workloads.dir/hashtable.cc.o" "gcc" "src/workloads/CMakeFiles/thynvm_workloads.dir/hashtable.cc.o.d"
+  "/root/repo/src/workloads/kvstore.cc" "src/workloads/CMakeFiles/thynvm_workloads.dir/kvstore.cc.o" "gcc" "src/workloads/CMakeFiles/thynvm_workloads.dir/kvstore.cc.o.d"
+  "/root/repo/src/workloads/rbtree.cc" "src/workloads/CMakeFiles/thynvm_workloads.dir/rbtree.cc.o" "gcc" "src/workloads/CMakeFiles/thynvm_workloads.dir/rbtree.cc.o.d"
+  "/root/repo/src/workloads/simheap.cc" "src/workloads/CMakeFiles/thynvm_workloads.dir/simheap.cc.o" "gcc" "src/workloads/CMakeFiles/thynvm_workloads.dir/simheap.cc.o.d"
+  "/root/repo/src/workloads/spec.cc" "src/workloads/CMakeFiles/thynvm_workloads.dir/spec.cc.o" "gcc" "src/workloads/CMakeFiles/thynvm_workloads.dir/spec.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/workloads/CMakeFiles/thynvm_workloads.dir/trace.cc.o" "gcc" "src/workloads/CMakeFiles/thynvm_workloads.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/thynvm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/thynvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/thynvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thynvm_workloads.dir/hashtable.cc.o"
+  "CMakeFiles/thynvm_workloads.dir/hashtable.cc.o.d"
+  "CMakeFiles/thynvm_workloads.dir/kvstore.cc.o"
+  "CMakeFiles/thynvm_workloads.dir/kvstore.cc.o.d"
+  "CMakeFiles/thynvm_workloads.dir/rbtree.cc.o"
+  "CMakeFiles/thynvm_workloads.dir/rbtree.cc.o.d"
+  "CMakeFiles/thynvm_workloads.dir/simheap.cc.o"
+  "CMakeFiles/thynvm_workloads.dir/simheap.cc.o.d"
+  "CMakeFiles/thynvm_workloads.dir/spec.cc.o"
+  "CMakeFiles/thynvm_workloads.dir/spec.cc.o.d"
+  "CMakeFiles/thynvm_workloads.dir/trace.cc.o"
+  "CMakeFiles/thynvm_workloads.dir/trace.cc.o.d"
+  "libthynvm_workloads.a"
+  "libthynvm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thynvm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

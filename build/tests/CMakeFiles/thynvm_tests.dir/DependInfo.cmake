@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/cache_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/cache_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/cache_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/config_sweep_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/config_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/config_sweep_test.cpp.o.d"
+  "/root/repo/tests/cpu_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/cpu_test.cpp.o.d"
+  "/root/repo/tests/crash_property_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/crash_property_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/crash_property_test.cpp.o.d"
+  "/root/repo/tests/device_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/device_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/device_test.cpp.o.d"
+  "/root/repo/tests/eventq_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/eventq_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/eventq_test.cpp.o.d"
+  "/root/repo/tests/harness_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/harness_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/harness_test.cpp.o.d"
+  "/root/repo/tests/protocol_model_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/protocol_model_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/protocol_model_test.cpp.o.d"
+  "/root/repo/tests/system_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/system_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/system_test.cpp.o.d"
+  "/root/repo/tests/tables_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/tables_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/tables_test.cpp.o.d"
+  "/root/repo/tests/thynvm_controller_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/thynvm_controller_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/thynvm_controller_test.cpp.o.d"
+  "/root/repo/tests/thynvm_overflow_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/thynvm_overflow_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/thynvm_overflow_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/thynvm_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/thynvm_tests.dir/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/thynvm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/thynvm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/thynvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/thynvm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/thynvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/thynvm_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/thynvm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/thynvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

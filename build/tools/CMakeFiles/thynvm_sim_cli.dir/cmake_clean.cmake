@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thynvm_sim_cli.dir/thynvm_sim.cc.o"
+  "CMakeFiles/thynvm_sim_cli.dir/thynvm_sim.cc.o.d"
+  "thynvm_sim"
+  "thynvm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thynvm_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
