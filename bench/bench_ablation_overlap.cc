@@ -8,18 +8,12 @@
  * the overlapped epoch model collapses that to a few percent.
  */
 
-#include <benchmark/benchmark.h>
-
-#include <map>
-
 #include "bench/bench_util.hh"
 
 namespace {
 
 using namespace thynvm;
 using namespace thynvm::bench;
-
-
 
 const std::vector<MicroWorkload::Pattern> kPatterns = {
     MicroWorkload::Pattern::Random,
@@ -38,42 +32,15 @@ patternName(MicroWorkload::Pattern p)
     return "?";
 }
 
-std::map<std::pair<int, int>, RunMetrics> g_results;
-
 void
-BM_Overlap(benchmark::State& state)
-{
-    const auto pattern = kPatterns[static_cast<std::size_t>(
-        state.range(0))];
-    const bool stw = state.range(1) != 0;
-    auto cfg = paperSystem(SystemKind::ThyNvm);
-    cfg.thynvm.stop_the_world = stw;
-    RunMetrics m;
-    for (auto _ : state)
-        m = runMicro(cfg, pattern);
-    g_results[{static_cast<int>(state.range(0)),
-               static_cast<int>(state.range(1))}] = m;
-    state.counters["sim_exec_ms"] =
-        static_cast<double>(m.exec_time) / kMillisecond;
-    state.counters["stall_pct"] = m.ckpt_time_frac * 100.0;
-    state.SetLabel(std::string(patternName(pattern)) +
-                   (stw ? "/stop-the-world" : "/overlapped"));
-}
-
-BENCHMARK(BM_Overlap)
-    ->ArgsProduct({{0, 1, 2}, {0, 1}})
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
-
-void
-printSummary()
+printSummary(const std::vector<RunMetrics>& results)
 {
     heading("Ablation: overlapped vs stop-the-world checkpointing");
     std::printf("%-11s %14s %12s %16s %12s\n", "pattern", "overlap_ms",
                 "ovl_stall%", "stop-world_ms", "stw_stall%");
     for (std::size_t p = 0; p < kPatterns.size(); ++p) {
-        const auto& ov = g_results.at({static_cast<int>(p), 0});
-        const auto& st = g_results.at({static_cast<int>(p), 1});
+        const auto& ov = results[p * 2 + 0];
+        const auto& st = results[p * 2 + 1];
         std::printf("%-11s %14.2f %12.3f %16.2f %12.2f\n",
                     patternName(kPatterns[p]),
                     static_cast<double>(ov.exec_time) / kMillisecond,
@@ -89,10 +56,20 @@ printSummary()
 } // namespace
 
 int
-main(int argc, char** argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-    printSummary();
+    std::vector<GridCell<RunMetrics>> cells;
+    for (auto pattern : kPatterns) {
+        for (bool stw : {false, true}) {
+            auto cfg = paperSystem(SystemKind::ThyNvm);
+            cfg.thynvm.stop_the_world = stw;
+            cells.push_back(GridCell<RunMetrics>{
+                std::string(patternName(pattern)) +
+                    (stw ? "/stop-the-world" : "/overlapped"),
+                [cfg, pattern] { return runMicro(cfg, pattern); }});
+        }
+    }
+    const auto results = runGrid("ablation overlap", cells);
+    printSummary(results);
     return 0;
 }

@@ -6,18 +6,12 @@
  * mixed locality exercises switching in both directions.
  */
 
-#include <benchmark/benchmark.h>
-
-#include <map>
-
 #include "bench/bench_util.hh"
 
 namespace {
 
 using namespace thynvm;
 using namespace thynvm::bench;
-
-
 
 struct ThresholdPair
 {
@@ -29,39 +23,14 @@ const std::vector<ThresholdPair> kPairs = {
     {4, 2}, {8, 6}, {22, 16}, {40, 32}, {64, 48},
 };
 
-std::map<int, RunMetrics> g_results;
-
 void
-BM_Thresholds(benchmark::State& state)
-{
-    const auto& pair = kPairs[static_cast<std::size_t>(state.range(0))];
-    auto cfg = paperSystem(SystemKind::ThyNvm);
-    cfg.thynvm.promote_threshold = pair.promote;
-    cfg.thynvm.demote_threshold = pair.demote;
-    RunMetrics m;
-    for (auto _ : state)
-        m = runMicro(cfg, MicroWorkload::Pattern::Sliding);
-    g_results[static_cast<int>(state.range(0))] = m;
-    state.counters["sim_exec_ms"] =
-        static_cast<double>(m.exec_time) / kMillisecond;
-    state.counters["migration_mb"] = mb(m.nvm_wr_migration);
-    state.SetLabel("promote=" + std::to_string(pair.promote) +
-                   "/demote=" + std::to_string(pair.demote));
-}
-
-BENCHMARK(BM_Thresholds)
-    ->DenseRange(0, 4)
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
-
-void
-printSummary()
+printSummary(const std::vector<RunMetrics>& results)
 {
     heading("Ablation: scheme-switch thresholds (Sliding pattern)");
     std::printf("%-18s %14s %14s %14s\n", "promote/demote", "exec_ms",
                 "nvm_wr_MB", "migration_MB");
     for (std::size_t i = 0; i < kPairs.size(); ++i) {
-        const auto& m = g_results.at(static_cast<int>(i));
+        const auto& m = results[i];
         std::printf("%3u / %-12u %14.2f %14.1f %14.1f\n",
                     kPairs[i].promote, kPairs[i].demote,
                     static_cast<double>(m.exec_time) / kMillisecond,
@@ -75,10 +44,21 @@ printSummary()
 } // namespace
 
 int
-main(int argc, char** argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-    printSummary();
+    std::vector<GridCell<RunMetrics>> cells;
+    for (const auto& pair : kPairs) {
+        auto cfg = paperSystem(SystemKind::ThyNvm);
+        cfg.thynvm.promote_threshold = pair.promote;
+        cfg.thynvm.demote_threshold = pair.demote;
+        cells.push_back(GridCell<RunMetrics>{
+            "promote=" + std::to_string(pair.promote) +
+                "/demote=" + std::to_string(pair.demote),
+            [cfg] {
+                return runMicro(cfg, MicroWorkload::Pattern::Sliding);
+            }});
+    }
+    const auto results = runGrid("ablation thresholds", cells);
+    printSummary(results);
     return 0;
 }

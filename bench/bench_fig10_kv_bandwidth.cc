@@ -11,10 +11,6 @@
  * construction but pays for it in stall time.
  */
 
-#include <benchmark/benchmark.h>
-
-#include <map>
-
 #include "bench/bench_util.hh"
 
 namespace {
@@ -36,37 +32,10 @@ txnsFor(std::uint32_t value_size)
     return 6000;
 }
 
-std::map<std::tuple<int, int, int>, KvResult> g_results;
-
 void
-BM_Fig10(benchmark::State& state)
+printSummary(const std::vector<KvResult>& results)
 {
-    const auto structure =
-        state.range(0) == 0 ? KvWorkload::Structure::HashTable
-                            : KvWorkload::Structure::RbTree;
-    const auto size = kSizes[static_cast<std::size_t>(state.range(1))];
-    const auto kind = allSystems()[static_cast<std::size_t>(
-        state.range(2))];
-    KvResult r;
-    for (auto _ : state)
-        r = runKv(paperSystem(kind), structure, size, txnsFor(size));
-    g_results[{static_cast<int>(state.range(0)),
-               static_cast<int>(state.range(1)),
-               static_cast<int>(state.range(2))}] = r;
-    state.counters["write_bw_mbps"] = r.write_bw_mbps;
-    state.SetLabel(std::string(state.range(0) == 0 ? "hash" : "rbtree") +
-                   "/" + std::to_string(size) + "B/" +
-                   systemKindName(kind));
-}
-
-BENCHMARK(BM_Fig10)
-    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4}, {0, 1, 2, 3, 4}})
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
-
-void
-printSummary()
-{
+    const std::size_t nsys = allSystems().size();
     heading("Figure 10: key-value store write bandwidth (MB/s; DRAM "
             "for Ideal DRAM, NVM otherwise)");
     for (int st = 0; st < 2; ++st) {
@@ -78,12 +47,12 @@ printSummary()
         std::printf("\n");
         for (std::size_t z = 0; z < kSizes.size(); ++z) {
             std::printf("%-10u", kSizes[z]);
-            for (std::size_t s = 0; s < allSystems().size(); ++s) {
-                std::printf("%14.1f",
-                            g_results
-                                .at({st, static_cast<int>(z),
-                                     static_cast<int>(s)})
-                                .write_bw_mbps);
+            for (std::size_t s = 0; s < nsys; ++s) {
+                const std::size_t i =
+                    (static_cast<std::size_t>(st) * kSizes.size() + z) *
+                        nsys +
+                    s;
+                std::printf("%14.1f", results[i].write_bw_mbps);
             }
             std::printf("\n");
         }
@@ -96,10 +65,28 @@ printSummary()
 } // namespace
 
 int
-main(int argc, char** argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-    printSummary();
+    const std::vector<KvWorkload::Structure> structures = {
+        KvWorkload::Structure::HashTable, KvWorkload::Structure::RbTree};
+
+    std::vector<GridCell<KvResult>> cells;
+    for (std::size_t st = 0; st < structures.size(); ++st) {
+        for (auto size : kSizes) {
+            for (auto kind : allSystems()) {
+                const auto structure = structures[st];
+                cells.push_back(GridCell<KvResult>{
+                    std::string(st == 0 ? "hash" : "rbtree") + "/" +
+                        std::to_string(size) + "B/" +
+                        systemKindName(kind),
+                    [structure, size, kind] {
+                        return runKv(paperSystem(kind), structure, size,
+                                     txnsFor(size));
+                    }});
+            }
+        }
+    }
+    const auto results = runGrid("fig10 kv bandwidth", cells);
+    printSummary(results);
     return 0;
 }

@@ -9,10 +9,6 @@
  * average), thanks to the DRAM working region.
  */
 
-#include <benchmark/benchmark.h>
-
-#include <map>
-
 #include "bench/bench_util.hh"
 
 namespace {
@@ -25,42 +21,18 @@ constexpr std::uint64_t kInstructions = 1500000;
 const std::vector<SystemKind> kSystems = {
     SystemKind::IdealDram, SystemKind::IdealNvm, SystemKind::ThyNvm};
 
-std::map<std::pair<int, int>, RunMetrics> g_results;
-
 void
-BM_Fig11(benchmark::State& state)
-{
-    const auto& prof = specProfiles()[static_cast<std::size_t>(
-        state.range(0))];
-    const auto kind = kSystems[static_cast<std::size_t>(state.range(1))];
-    RunMetrics m;
-    for (auto _ : state)
-        m = runSpec(paperSystem(kind), prof, kInstructions);
-    g_results[{static_cast<int>(state.range(0)),
-               static_cast<int>(state.range(1))}] = m;
-    state.counters["ipc"] = m.ipc;
-    state.SetLabel(std::string(prof.name) + "/" + systemKindName(kind));
-}
-
-BENCHMARK(BM_Fig11)
-    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6, 7}, {0, 1, 2}})
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
-
-void
-printSummary()
+printSummary(const std::vector<RunMetrics>& results)
 {
     heading("Figure 11: SPEC CPU2006 IPC normalized to Ideal DRAM");
     std::printf("%-11s %12s %12s %12s\n", "benchmark", "Ideal DRAM",
                 "Ideal NVM", "ThyNVM");
     double sum_nvm = 0.0, sum_thynvm = 0.0;
     for (std::size_t b = 0; b < specProfiles().size(); ++b) {
-        const double base =
-            g_results.at({static_cast<int>(b), 0}).ipc;
-        const double nvm =
-            g_results.at({static_cast<int>(b), 1}).ipc / base;
+        const double base = results[b * kSystems.size() + 0].ipc;
+        const double nvm = results[b * kSystems.size() + 1].ipc / base;
         const double thynvm =
-            g_results.at({static_cast<int>(b), 2}).ipc / base;
+            results[b * kSystems.size() + 2].ipc / base;
         sum_nvm += nvm;
         sum_thynvm += thynvm;
         std::printf("%-11s %12.3f %12.3f %12.3f\n",
@@ -75,10 +47,20 @@ printSummary()
 } // namespace
 
 int
-main(int argc, char** argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-    printSummary();
+    std::vector<GridCell<RunMetrics>> cells;
+    for (const auto& prof : specProfiles()) {
+        for (auto kind : kSystems) {
+            const SpecProfile* p = &prof;
+            cells.push_back(GridCell<RunMetrics>{
+                std::string(prof.name) + "/" + systemKindName(kind),
+                [p, kind] {
+                    return runSpec(paperSystem(kind), *p, kInstructions);
+                }});
+        }
+    }
+    const auto results = runGrid("fig11 spec ipc", cells);
+    printSummary(results);
     return 0;
 }

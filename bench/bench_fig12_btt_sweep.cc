@@ -9,10 +9,6 @@
  * better coalescing, less bus contention).
  */
 
-#include <benchmark/benchmark.h>
-
-#include <map>
-
 #include "bench/bench_util.hh"
 
 namespace {
@@ -22,8 +18,6 @@ using namespace thynvm::bench;
 
 const std::vector<std::size_t> kBttSizes = {256,  512,  1024,
                                             2048, 4096, 8192};
-
-std::map<int, KvResult> g_results;
 
 /**
  * Write-intensive variant of the storage workload: insert-heavy with
@@ -59,40 +53,13 @@ runWriteHeavyKv(const SystemConfig& cfg)
 }
 
 void
-BM_Fig12(benchmark::State& state)
-{
-    auto cfg = paperSystem(SystemKind::ThyNvm);
-    cfg.thynvm.btt_entries =
-        kBttSizes[static_cast<std::size_t>(state.range(0))];
-    // Paper-faithful overflow budget: the paper has no overflow valve
-    // (overflow simply forces epochs), so the spill path must stay a
-    // narrow escape hatch here or it masks the BTT sensitivity this
-    // figure measures.
-    cfg.thynvm.overflow_entries = 32768;
-    cfg.thynvm.overflow_stall_watermark = 4096;
-    KvResult r;
-    for (auto _ : state)
-        r = runWriteHeavyKv(cfg);
-    g_results[static_cast<int>(state.range(0))] = r;
-    state.counters["ktps"] = r.ktps;
-    state.counters["nvm_wr_mb"] = mb(r.m.nvm_wr_total);
-    state.SetLabel("btt=" +
-                   std::to_string(cfg.thynvm.btt_entries));
-}
-
-BENCHMARK(BM_Fig12)
-    ->DenseRange(0, 5)
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
-
-void
-printSummary()
+printSummary(const std::vector<KvResult>& results)
 {
     heading("Figure 12: effect of BTT size (hash-table KV store)");
     std::printf("%-12s %14s %16s\n", "btt_entries", "ktps",
                 "nvm_write_MB");
     for (std::size_t i = 0; i < kBttSizes.size(); ++i) {
-        const auto& r = g_results.at(static_cast<int>(i));
+        const auto& r = results[i];
         std::printf("%-12zu %14.1f %16.1f\n", kBttSizes[i], r.ktps,
                     mb(r.m.nvm_wr_total));
     }
@@ -103,10 +70,23 @@ printSummary()
 } // namespace
 
 int
-main(int argc, char** argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-    printSummary();
+    std::vector<GridCell<KvResult>> cells;
+    for (auto btt : kBttSizes) {
+        auto cfg = paperSystem(SystemKind::ThyNvm);
+        cfg.thynvm.btt_entries = btt;
+        // Paper-faithful overflow budget: the paper has no overflow
+        // valve (overflow simply forces epochs), so the spill path must
+        // stay a narrow escape hatch here or it masks the BTT
+        // sensitivity this figure measures.
+        cfg.thynvm.overflow_entries = 32768;
+        cfg.thynvm.overflow_stall_watermark = 4096;
+        cells.push_back(GridCell<KvResult>{
+            "btt=" + std::to_string(btt),
+            [cfg] { return runWriteHeavyKv(cfg); }});
+    }
+    const auto results = runGrid("fig12 btt sweep", cells);
+    printSummary(results);
     return 0;
 }

@@ -9,20 +9,12 @@
  * Random; ThyNVM lands between Ideal DRAM and the software baselines.
  */
 
-#include <benchmark/benchmark.h>
-
-#include <map>
-
 #include "bench/bench_util.hh"
 
 namespace {
 
 using namespace thynvm;
 using namespace thynvm::bench;
-
-
-
-std::map<std::pair<int, int>, RunMetrics> g_results;
 
 const std::vector<MicroWorkload::Pattern> kPatterns = {
     MicroWorkload::Pattern::Random,
@@ -42,32 +34,9 @@ patternName(MicroWorkload::Pattern p)
 }
 
 void
-BM_Fig7(benchmark::State& state)
+printSummary(const std::vector<RunMetrics>& results)
 {
-    const auto pattern = kPatterns[static_cast<std::size_t>(
-        state.range(0))];
-    const auto kind = allSystems()[static_cast<std::size_t>(
-        state.range(1))];
-    RunMetrics m;
-    for (auto _ : state)
-        m = runMicro(paperSystem(kind), pattern);
-    g_results[{static_cast<int>(state.range(0)),
-               static_cast<int>(state.range(1))}] = m;
-    state.counters["sim_exec_ms"] =
-        static_cast<double>(m.exec_time) / kMillisecond;
-    state.counters["ckpt_pct"] = m.ckpt_time_frac * 100.0;
-    state.SetLabel(std::string(patternName(pattern)) + "/" +
-                   systemKindName(kind));
-}
-
-BENCHMARK(BM_Fig7)
-    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3, 4}})
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
-
-void
-printSummary()
-{
+    const std::size_t nsys = allSystems().size();
     heading("Figure 7: micro-benchmark execution time "
             "(normalized to Ideal DRAM)");
     std::printf("%-11s", "pattern");
@@ -75,12 +44,11 @@ printSummary()
         std::printf("%14s", systemKindName(kind));
     std::printf("\n");
     for (std::size_t p = 0; p < kPatterns.size(); ++p) {
-        const double base = static_cast<double>(
-            g_results.at({static_cast<int>(p), 0}).exec_time);
+        const double base =
+            static_cast<double>(results[p * nsys].exec_time);
         std::printf("%-11s", patternName(kPatterns[p]));
-        for (std::size_t s = 0; s < allSystems().size(); ++s) {
-            const auto& m = g_results.at(
-                {static_cast<int>(p), static_cast<int>(s)});
+        for (std::size_t s = 0; s < nsys; ++s) {
+            const auto& m = results[p * nsys + s];
             std::printf("%14.3f",
                         static_cast<double>(m.exec_time) / base);
         }
@@ -94,10 +62,20 @@ printSummary()
 } // namespace
 
 int
-main(int argc, char** argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-    printSummary();
+    std::vector<GridCell<RunMetrics>> cells;
+    for (auto pattern : kPatterns) {
+        for (auto kind : allSystems()) {
+            cells.push_back(GridCell<RunMetrics>{
+                std::string(patternName(pattern)) + "/" +
+                    systemKindName(kind),
+                [pattern, kind] {
+                    return runMicro(paperSystem(kind), pattern);
+                }});
+        }
+    }
+    const auto results = runGrid("fig7 micro exec time", cells);
+    printSummary(results);
     return 0;
 }

@@ -11,18 +11,12 @@
  * collapses the checkpointing time share to a few percent.
  */
 
-#include <benchmark/benchmark.h>
-
-#include <map>
-
 #include "bench/bench_util.hh"
 
 namespace {
 
 using namespace thynvm;
 using namespace thynvm::bench;
-
-
 
 const std::vector<SystemKind> kSystems = {
     SystemKind::Journal, SystemKind::Shadow, SystemKind::ThyNvm};
@@ -44,34 +38,8 @@ patternName(MicroWorkload::Pattern p)
     return "?";
 }
 
-std::map<std::pair<int, int>, RunMetrics> g_results;
-
 void
-BM_Fig8(benchmark::State& state)
-{
-    const auto pattern = kPatterns[static_cast<std::size_t>(
-        state.range(0))];
-    const auto kind = kSystems[static_cast<std::size_t>(state.range(1))];
-    RunMetrics m;
-    for (auto _ : state)
-        m = runMicro(paperSystem(kind), pattern);
-    g_results[{static_cast<int>(state.range(0)),
-               static_cast<int>(state.range(1))}] = m;
-    state.counters["cpu_mb"] = mb(m.nvm_wr_cpu);
-    state.counters["ckpt_mb"] = mb(m.nvm_wr_ckpt);
-    state.counters["migration_mb"] = mb(m.nvm_wr_migration);
-    state.counters["ckpt_pct"] = m.ckpt_time_frac * 100.0;
-    state.SetLabel(std::string(patternName(pattern)) + "/" +
-                   systemKindName(kind));
-}
-
-BENCHMARK(BM_Fig8)
-    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}})
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
-
-void
-printSummary()
+printSummary(const std::vector<RunMetrics>& results)
 {
     heading("Figure 8: NVM write traffic breakdown (MB) and % exec "
             "time on checkpointing");
@@ -82,8 +50,7 @@ printSummary()
                     "cpu_MB", "ckpt_MB", "migration_MB", "total_MB",
                     "ckpt_%");
         for (std::size_t s = 0; s < kSystems.size(); ++s) {
-            const auto& m = g_results.at(
-                {static_cast<int>(p), static_cast<int>(s)});
+            const auto& m = results[p * kSystems.size() + s];
             std::printf("%-10s %10.1f %10.1f %12.1f %10.1f %10.2f\n",
                         systemKindName(kSystems[s]), mb(m.nvm_wr_cpu),
                         mb(m.nvm_wr_ckpt), mb(m.nvm_wr_migration),
@@ -98,10 +65,20 @@ printSummary()
 } // namespace
 
 int
-main(int argc, char** argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-    printSummary();
+    std::vector<GridCell<RunMetrics>> cells;
+    for (auto pattern : kPatterns) {
+        for (auto kind : kSystems) {
+            cells.push_back(GridCell<RunMetrics>{
+                std::string(patternName(pattern)) + "/" +
+                    systemKindName(kind),
+                [pattern, kind] {
+                    return runMicro(paperSystem(kind), pattern);
+                }});
+        }
+    }
+    const auto results = runGrid("fig8 write traffic", cells);
+    printSummary(results);
     return 0;
 }

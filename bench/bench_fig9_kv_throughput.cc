@@ -8,10 +8,6 @@
  * sizes and tracks the ideal systems closely (~95% of Ideal DRAM).
  */
 
-#include <benchmark/benchmark.h>
-
-#include <map>
-
 #include "bench/bench_util.hh"
 
 namespace {
@@ -33,38 +29,10 @@ txnsFor(std::uint32_t value_size)
     return 6000;
 }
 
-std::map<std::tuple<int, int, int>, KvResult> g_results;
-
 void
-BM_Fig9(benchmark::State& state)
+printSummary(const std::vector<KvResult>& results)
 {
-    const auto structure =
-        state.range(0) == 0 ? KvWorkload::Structure::HashTable
-                            : KvWorkload::Structure::RbTree;
-    const auto size = kSizes[static_cast<std::size_t>(state.range(1))];
-    const auto kind = allSystems()[static_cast<std::size_t>(
-        state.range(2))];
-    KvResult r;
-    for (auto _ : state)
-        r = runKv(paperSystem(kind), structure, size, txnsFor(size));
-    g_results[{static_cast<int>(state.range(0)),
-               static_cast<int>(state.range(1)),
-               static_cast<int>(state.range(2))}] = r;
-    state.counters["ktps"] = r.ktps;
-    state.counters["write_bw_mbps"] = r.write_bw_mbps;
-    state.SetLabel(std::string(state.range(0) == 0 ? "hash" : "rbtree") +
-                   "/" + std::to_string(size) + "B/" +
-                   systemKindName(kind));
-}
-
-BENCHMARK(BM_Fig9)
-    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4}, {0, 1, 2, 3, 4}})
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
-
-void
-printSummary()
-{
+    const std::size_t nsys = allSystems().size();
     heading("Figure 9: key-value store transaction throughput (KTPS)");
     for (int st = 0; st < 2; ++st) {
         std::printf("\n(%c) %s based key-value store\n",
@@ -75,12 +43,12 @@ printSummary()
         std::printf("\n");
         for (std::size_t z = 0; z < kSizes.size(); ++z) {
             std::printf("%-10u", kSizes[z]);
-            for (std::size_t s = 0; s < allSystems().size(); ++s) {
-                std::printf("%14.1f",
-                            g_results
-                                .at({st, static_cast<int>(z),
-                                     static_cast<int>(s)})
-                                .ktps);
+            for (std::size_t s = 0; s < nsys; ++s) {
+                const std::size_t i =
+                    (static_cast<std::size_t>(st) * kSizes.size() + z) *
+                        nsys +
+                    s;
+                std::printf("%14.1f", results[i].ktps);
             }
             std::printf("\n");
         }
@@ -93,10 +61,28 @@ printSummary()
 } // namespace
 
 int
-main(int argc, char** argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-    printSummary();
+    const std::vector<KvWorkload::Structure> structures = {
+        KvWorkload::Structure::HashTable, KvWorkload::Structure::RbTree};
+
+    std::vector<GridCell<KvResult>> cells;
+    for (std::size_t st = 0; st < structures.size(); ++st) {
+        for (auto size : kSizes) {
+            for (auto kind : allSystems()) {
+                const auto structure = structures[st];
+                cells.push_back(GridCell<KvResult>{
+                    std::string(st == 0 ? "hash" : "rbtree") + "/" +
+                        std::to_string(size) + "B/" +
+                        systemKindName(kind),
+                    [structure, size, kind] {
+                        return runKv(paperSystem(kind), structure, size,
+                                     txnsFor(size));
+                    }});
+            }
+        }
+    }
+    const auto results = runGrid("fig9 kv throughput", cells);
+    printSummary(results);
     return 0;
 }

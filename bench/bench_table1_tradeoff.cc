@@ -16,18 +16,12 @@
  * block scheme's metadata.
  */
 
-#include <benchmark/benchmark.h>
-
-#include <map>
-
 #include "bench/bench_util.hh"
 
 namespace {
 
 using namespace thynvm;
 using namespace thynvm::bench;
-
-
 
 struct ModeSpec
 {
@@ -62,38 +56,8 @@ metadataKiB(const ModeSpec& m)
     return (m.btt * btt_bits + m.ptt * ptt_bits) / 8.0 / 1024.0;
 }
 
-std::map<std::pair<int, int>, RunMetrics> g_results;
-
 void
-BM_Table1(benchmark::State& state)
-{
-    const auto& spec = kModes[static_cast<std::size_t>(state.range(0))];
-    const auto pattern = kPatterns[static_cast<std::size_t>(
-        state.range(1))];
-    auto cfg = paperSystem(SystemKind::ThyNvm);
-    cfg.thynvm.mode = spec.mode;
-    cfg.thynvm.btt_entries = spec.btt;
-    cfg.thynvm.ptt_entries = spec.ptt;
-    RunMetrics m;
-    for (auto _ : state)
-        m = runMicro(cfg, pattern);
-    g_results[{static_cast<int>(state.range(0)),
-               static_cast<int>(state.range(1))}] = m;
-    state.counters["sim_exec_ms"] =
-        static_cast<double>(m.exec_time) / kMillisecond;
-    state.counters["stall_pct"] = m.ckpt_time_frac * 100.0;
-    state.counters["metadata_KiB"] = metadataKiB(spec);
-    state.SetLabel(std::string(spec.name) + "/" +
-                   (state.range(1) == 0 ? "Random" : "Sliding"));
-}
-
-BENCHMARK(BM_Table1)
-    ->ArgsProduct({{0, 1, 2}, {0, 1}})
-    ->Iterations(1)
-    ->Unit(benchmark::kMillisecond);
-
-void
-printSummary()
+printSummary(const std::vector<RunMetrics>& results)
 {
     heading("Table 1: granularity/location tradeoff "
             "(uniform schemes vs dual)");
@@ -101,8 +65,8 @@ printSummary()
                 "metadata_KiB", "rand_ms", "rand_stall%", "slide_ms",
                 "slide_stall%");
     for (std::size_t s = 0; s < kModes.size(); ++s) {
-        const auto& r0 = g_results.at({static_cast<int>(s), 0});
-        const auto& r1 = g_results.at({static_cast<int>(s), 1});
+        const auto& r0 = results[s * kPatterns.size() + 0];
+        const auto& r1 = results[s * kPatterns.size() + 1];
         std::printf("%-10s %13.1f %12.2f %12.3f %12.2f %12.3f\n",
                     kModes[s].name, metadataKiB(kModes[s]),
                     static_cast<double>(r0.exec_time) / kMillisecond,
@@ -118,10 +82,24 @@ printSummary()
 } // namespace
 
 int
-main(int argc, char** argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
-    printSummary();
+    std::vector<GridCell<RunMetrics>> cells;
+    for (const auto& spec : kModes) {
+        for (auto pattern : kPatterns) {
+            auto cfg = paperSystem(SystemKind::ThyNvm);
+            cfg.thynvm.mode = spec.mode;
+            cfg.thynvm.btt_entries = spec.btt;
+            cfg.thynvm.ptt_entries = spec.ptt;
+            cells.push_back(GridCell<RunMetrics>{
+                std::string(spec.name) + "/" +
+                    (pattern == MicroWorkload::Pattern::Random
+                         ? "Random"
+                         : "Sliding"),
+                [cfg, pattern] { return runMicro(cfg, pattern); }});
+        }
+    }
+    const auto results = runGrid("table1 tradeoff", cells);
+    printSummary(results);
     return 0;
 }

@@ -5,8 +5,6 @@
  * evaluation setup is auditable against the paper.
  */
 
-#include <benchmark/benchmark.h>
-
 #include "bench/bench_util.hh"
 
 namespace {
@@ -15,22 +13,18 @@ using namespace thynvm;
 using namespace thynvm::bench;
 
 void
-BM_Table2_ConstructSystems(benchmark::State& state)
+constructAllSystems()
 {
     // Sanity: every evaluated system can be constructed at evaluation
     // scale (this also exercises the address-space layout math).
-    for (auto _ : state) {
-        for (auto kind : allSystems()) {
-            MicroWorkload::Params mp;
-            mp.total_accesses = 1;
-            MicroWorkload wl(mp);
-            System sys(paperSystem(kind), wl);
-            benchmark::DoNotOptimize(&sys);
-        }
+    for (auto kind : allSystems()) {
+        MicroWorkload::Params mp;
+        mp.total_accesses = 1;
+        MicroWorkload wl(mp);
+        System sys(paperSystem(kind), wl);
+        static_cast<void>(sys);
     }
 }
-
-BENCHMARK(BM_Table2_ConstructSystems)->Iterations(1);
 
 void
 printSummary()
@@ -94,10 +88,9 @@ printSummary()
 } // namespace
 
 int
-main(int argc, char** argv)
+main()
 {
-    ::benchmark::Initialize(&argc, argv);
-    ::benchmark::RunSpecifiedBenchmarks();
+    constructAllSystems();
     printSummary();
     return 0;
 }

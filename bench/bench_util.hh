@@ -15,9 +15,15 @@
 #define THYNVM_BENCH_BENCH_UTIL_HH
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
 #include <string>
 
+#include "common/parallel.hh"
 #include "harness/system.hh"
 #include "workloads/kvstore.hh"
 #include "workloads/micro.hh"
@@ -182,6 +188,115 @@ heading(const char* title)
                 "================================================"
                 "====================\n",
                 title);
+}
+
+// ---------------------------------------------------------------------
+// Parallel sweep driver.
+//
+// Every (system, workload) cell builds its own System with a private
+// EventQueue, so independent cells can run on different host threads
+// with no shared mutable state. Results land in a vector indexed by
+// registration order and progress lines are printed strictly in that
+// order, so the output (and the result set) is identical for any
+// thread count, including 1.
+// ---------------------------------------------------------------------
+
+/**
+ * Worker-thread count for benchmark sweeps: the THYNVM_BENCH_THREADS
+ * environment variable if set (>= 1), else the host's hardware
+ * concurrency.
+ */
+inline unsigned
+benchThreads()
+{
+    if (const char* env = std::getenv("THYNVM_BENCH_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    return hardwareThreads();
+}
+
+/** One independent run in a benchmark sweep. */
+template <typename R>
+struct GridCell
+{
+    std::string label;
+    std::function<R()> run;
+};
+
+/**
+ * Execute every cell, fanning across @p threads workers (0 = use
+ * benchThreads()). Returns the results in registration order; per-cell
+ * progress lines stream to stdout in that same order regardless of
+ * completion order. The first exception raised by any cell is
+ * rethrown once every cell has finished.
+ */
+template <typename R>
+std::vector<R>
+runGrid(const char* title, const std::vector<GridCell<R>>& cells,
+        unsigned threads = 0)
+{
+    using Clock = std::chrono::steady_clock;
+    const unsigned nthreads = threads != 0 ? threads : benchThreads();
+
+    std::vector<R> results(cells.size());
+    std::vector<double> host_sec(cells.size(), 0.0);
+    std::vector<std::exception_ptr> errors(cells.size());
+    std::vector<char> cell_done(cells.size(), 0);
+    std::mutex mutex;
+    std::condition_variable cv;
+
+    std::printf("-- %s: %zu runs on %u thread%s\n", title, cells.size(),
+                nthreads, nthreads == 1 ? "" : "s");
+    std::fflush(stdout);
+
+    auto runCell = [&](std::size_t i) {
+        const auto t0 = Clock::now();
+        try {
+            results[i] = cells[i].run();
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+        host_sec[i] =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            cell_done[i] = 1;
+        }
+        cv.notify_all();
+    };
+    auto printCell = [&](std::size_t i) {
+        std::printf("   [%2zu/%zu] %-40s %8.2fs host%s\n", i + 1,
+                    cells.size(), cells[i].label.c_str(), host_sec[i],
+                    errors[i] ? "  FAILED" : "");
+        std::fflush(stdout);
+    };
+
+    if (nthreads <= 1 || cells.size() <= 1) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            runCell(i);
+            printCell(i);
+        }
+    } else {
+        ThreadPool pool(static_cast<unsigned>(
+            std::min<std::size_t>(nthreads, cells.size())));
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            pool.submit([&runCell, i] { runCell(i); });
+        // Stream progress in presentation order as cells finish.
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return cell_done[i] != 0; });
+            lock.unlock();
+            printCell(i);
+        }
+    }
+
+    for (auto& e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+    return results;
 }
 
 } // namespace bench

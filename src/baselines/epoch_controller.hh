@@ -28,7 +28,8 @@ class EpochController : public MemController
     EpochController(EventQueue& eq, std::string name, Tick epoch_length)
         : MemController(eq, std::move(name)),
           epoch_length_(epoch_length),
-          epoch_timer_([this] { requestEpochEnd(); })
+          epoch_timer_([this] { requestEpochEnd(); }),
+          boundary_event_([this] { tryBeginBoundary(); })
     {}
 
     void
@@ -53,8 +54,10 @@ class EpochController : public MemController
             return;
         boundary_requested_ = true;
         // Defer: the request may originate mid-way through an access
-        // path; the checkpoint must only start between accesses.
-        eventq_.scheduleIn(0, [this] { tryBeginBoundary(); });
+        // path; the checkpoint must only start between accesses. A
+        // pending attempt is necessarily at this tick and covers us.
+        if (!boundary_event_.scheduled())
+            eventq_.schedule(boundary_event_, curTick());
     }
 
     /** True while a stop-the-world checkpoint is running. */
@@ -163,6 +166,8 @@ class EpochController : public MemController
         cpu_state_.clear();
         if (epoch_timer_.scheduled())
             eventq_.deschedule(epoch_timer_);
+        if (boundary_event_.scheduled())
+            eventq_.deschedule(boundary_event_);
     }
 
     Tick epoch_length_;
@@ -171,6 +176,8 @@ class EpochController : public MemController
     bool boundary_requested_ = false;
     Tick stall_start_ = 0;
     Event epoch_timer_;
+    /** Deferred boundary attempt; coalesces repeated requestEpochEnd(). */
+    Event boundary_event_;
     std::function<void()> resume_client_;
     std::vector<std::uint8_t> cpu_state_;
     std::vector<std::uint8_t> recovered_cpu_state_;

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Minimal host-side threading helpers for the benchmark harness.
+ *
+ * Simulation itself is single-threaded by design (one EventQueue per
+ * System, stepped by one thread); these helpers fan *independent*
+ * System runs across host hardware threads. Nothing here is used on a
+ * simulated timing path.
+ */
+
+#ifndef THYNVM_COMMON_PARALLEL_HH
+#define THYNVM_COMMON_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace thynvm {
+
+/**
+ * Fixed-size pool of worker threads draining a FIFO job queue.
+ *
+ * Jobs submitted before destruction are all executed; the destructor
+ * blocks until the queue drains and every worker has joined. Jobs must
+ * not throw (wrap user code and capture exceptions at the call site).
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; clamped to at least one. */
+    explicit ThreadPool(unsigned threads)
+    {
+        if (threads == 0)
+            threads = 1;
+        workers_.reserve(threads);
+        for (unsigned i = 0; i < threads; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        for (auto& w : workers_)
+            w.join();
+    }
+
+    /** Enqueue a job for execution on some worker. */
+    void
+    submit(std::function<void()> job)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            jobs_.push_back(std::move(job));
+        }
+        cv_.notify_one();
+    }
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  private:
+    void
+    workerLoop()
+    {
+        for (;;) {
+            std::function<void()> job;
+            {
+                std::unique_lock<std::mutex> lock(mutex_);
+                cv_.wait(lock,
+                         [this] { return stopping_ || !jobs_.empty(); });
+                if (jobs_.empty())
+                    return; // stopping and drained
+                job = std::move(jobs_.front());
+                jobs_.pop_front();
+            }
+            job();
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> jobs_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+/** Host hardware concurrency, clamped to at least one. */
+inline unsigned
+hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+/**
+ * Run @p fn(i) for every i in [0, n), fanning across @p threads
+ * workers. With threads <= 1 the calls run inline on the caller's
+ * thread in index order (bit-identical control flow to a plain loop).
+ * The first exception thrown by any call is rethrown to the caller
+ * after all indices finish.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t n, Fn&& fn, unsigned threads)
+{
+    if (threads <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::vector<std::exception_ptr> errors(n);
+    {
+        ThreadPool pool(
+            static_cast<unsigned>(std::min<std::size_t>(threads, n)));
+        for (std::size_t i = 0; i < n; ++i) {
+            pool.submit([&fn, &errors, i] {
+                try {
+                    fn(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            });
+        }
+    } // pool destructor drains the queue and joins
+    for (auto& e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
+}
+
+} // namespace thynvm
+
+#endif // THYNVM_COMMON_PARALLEL_HH

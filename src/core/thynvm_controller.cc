@@ -40,7 +40,8 @@ ThyNvmController::ThyNvmController(EventQueue& eq, std::string name,
       nvm_port_(nvm_dev_),
       btt_(cfg.btt_entries),
       ptt_(cfg.ptt_entries),
-      epoch_timer_([this] { requestEpochEnd(); })
+      epoch_timer_([this] { requestEpochEnd(); }),
+      boundary_event_([this] { tryBeginBoundary(); })
 {
     fatal_if(cfg_.phys_size == 0 || cfg_.btt_entries == 0 ||
                  cfg_.ptt_entries == 0 || cfg_.overflow_entries == 0,
@@ -173,7 +174,10 @@ ThyNvmController::requestEpochEnd()
     boundary_requested_ = true;
     // Defer: the request may originate mid-way through a store path,
     // and the boundary must only run between fully applied accesses.
-    eventq_.scheduleIn(0, [this] { tryBeginBoundary(); });
+    // A still-pending attempt (necessarily at this same tick, since
+    // time cannot advance past a queued event) covers this request too.
+    if (!boundary_event_.scheduled())
+        eventq_.schedule(boundary_event_, curTick());
 }
 
 // ---------------------------------------------------------------------
@@ -231,8 +235,10 @@ ThyNvmController::afterLookup(std::function<void()> done)
 {
     if (!done)
         return done;
-    return [this, done = std::move(done)] {
-        eventq_.scheduleIn(cfg_.table_lookup_latency, done);
+    return [this, done = std::move(done)]() mutable {
+        // Fires at most once; moving the callback into the queue avoids
+        // a std::function copy on the load/store hot path.
+        eventq_.scheduleIn(cfg_.table_lookup_latency, std::move(done));
     };
 }
 
@@ -1292,6 +1298,8 @@ ThyNvmController::crash()
     started_ = false;
     if (epoch_timer_.scheduled())
         eventq_.deschedule(epoch_timer_);
+    if (boundary_event_.scheduled())
+        eventq_.deschedule(boundary_event_);
 }
 
 void

@@ -237,6 +237,8 @@ class ThyNvmController : public MemController
     Tick ckpt_start_tick_ = 0;
     Tick stall_window_start_ = 0;
     Event epoch_timer_;
+    /** Deferred boundary attempt; coalesces repeated requestEpochEnd(). */
+    Event boundary_event_;
 
     std::function<void()> resume_client_;
     std::vector<std::uint8_t> cpu_state_;

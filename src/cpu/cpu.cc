@@ -16,7 +16,9 @@ TraceCpu::TraceCpu(EventQueue& eq, std::string name, const Params& params,
     : SimObject(eq, std::move(name)),
       params_(params),
       mem_(mem),
-      workload_(workload)
+      workload_(workload),
+      step_event_([this] { step(); }),
+      op_complete_event_([this] { opComplete(); })
 {
     op_buf_.resize(params_.max_op_bytes);
     stats().addScalar("instructions", &instructions_,
@@ -34,7 +36,7 @@ TraceCpu::start()
 {
     panic_if(started_, "CPU started twice");
     started_ = true;
-    eventq_.scheduleIn(0, [this] { step(); });
+    eventq_.schedule(step_event_, curTick());
 }
 
 void
@@ -60,8 +62,8 @@ TraceCpu::step()
       case WorkOp::Kind::Compute: {
         busy_ = true;
         instructions_ += static_cast<double>(cur_op_.count);
-        eventq_.scheduleIn(cur_op_.count * params_.cycle_period,
-                           [this] { opComplete(); });
+        eventq_.schedule(op_complete_event_,
+                         curTick() + cur_op_.count * params_.cycle_period);
         return;
       }
       case WorkOp::Kind::Load:
@@ -157,7 +159,7 @@ TraceCpu::opComplete()
         }
         return;
     }
-    eventq_.scheduleIn(params_.cycle_period, [this] { step(); });
+    eventq_.schedule(step_event_, curTick() + params_.cycle_period);
 }
 
 void
@@ -179,8 +181,12 @@ TraceCpu::resume()
     panic_if(!paused_, "resume without pause");
     paused_ = false;
     paused_time_ += static_cast<double>(curTick() - pause_start_);
-    if (!busy_ && !finished_)
-        eventq_.scheduleIn(params_.cycle_period, [this] { step(); });
+    if (!busy_ && !finished_) {
+        // A step parked by pause() may still be queued; replace it so
+        // exactly one step fires, a full cycle after the resume.
+        eventq_.deschedule(step_event_);
+        eventq_.schedule(step_event_, curTick() + params_.cycle_period);
+    }
 }
 
 std::vector<std::uint8_t>

@@ -98,6 +98,11 @@ class TraceCpu : public SimObject
     BlockAccessor& mem_;
     Workload& workload_;
 
+    /** Reusable pipeline events: the callbacks never change, so the
+     *  per-cycle step/complete chain schedules with zero setup cost. */
+    Event step_event_;
+    Event op_complete_event_;
+
     bool started_ = false;
     bool finished_ = false;
     bool busy_ = false;   //!< an op is in flight

@@ -51,7 +51,8 @@ MemDevice::MemDevice(EventQueue& eq, std::string name,
       params_(params),
       store_(store ? std::move(store)
                    : std::make_shared<BackingStore>(params.capacity)),
-      banks_(params.banks)
+      banks_(params.banks),
+      schedule_event_([this] { trySchedule(); })
 {
     fatal_if(params_.banks == 0, "device must have at least one bank");
     fatal_if(params_.row_size == 0 || params_.row_size % kBlockSize != 0,
@@ -125,14 +126,10 @@ MemDevice::enqueue(DeviceRequest req)
     auto& q = qr.req.is_write ? write_q_ : read_q_;
     q.push_back(std::move(qr));
 
-    if (!schedule_pending_) {
+    if (!schedule_event_.scheduled()) {
         // Defer scheduling to a zero-delay event so a burst of enqueues
         // in the same tick is scheduled as one batch.
-        schedule_pending_ = true;
-        eventq_.scheduleIn(0, [this] {
-            schedule_pending_ = false;
-            trySchedule();
-        });
+        eventq_.schedule(schedule_event_, curTick());
     }
     return true;
 }
@@ -183,8 +180,8 @@ MemDevice::quiesce()
     write_accept_cbs_.clear();
     drain_cbs_.clear();
     // The caller abandons the event queue, so any pending scheduling or
-    // completion events are gone; reset the coalescing flag.
-    schedule_pending_ = false;
+    // completion events are gone; cancel the coalescing event.
+    eventq_.deschedule(schedule_event_);
     draining_writes_ = false;
 }
 

@@ -160,7 +160,8 @@ class MemDevice : public SimObject
     std::deque<QueuedRequest> write_q_;
     bool draining_writes_ = false;
     std::uint64_t next_seq_ = 0;
-    bool schedule_pending_ = false;
+    /** Coalesces a same-tick burst of enqueues into one scheduling pass. */
+    Event schedule_event_;
 
     std::vector<std::function<void()>> read_accept_cbs_;
     std::vector<std::function<void()>> write_accept_cbs_;

@@ -21,6 +21,7 @@
 
 #include <cstring>
 #include <deque>
+#include <unordered_map>
 
 #include "mem/device.hh"
 
@@ -52,9 +53,17 @@ class DevicePort
     void
     send(DeviceRequest req, std::function<void()> on_accept = {})
     {
-        auto& fifo = req.is_write ? write_fifo_ : read_fifo_;
+        const bool is_write = req.is_write;
+        auto& fifo = is_write ? write_fifo_ : read_fifo_;
         fifo.push_back(Item{std::move(req), std::move(on_accept)});
-        tryIssue(fifo.back().req.is_write);
+        if (is_write) {
+            // Deque references stay valid across push_back/pop_front,
+            // so the index can point straight at the staged request.
+            StagedWrite& sw = staged_writes_[fifo.back().req.addr];
+            ++sw.count;
+            sw.newest = &fifo.back().req;
+        }
+        tryIssue(is_write);
     }
 
     /**
@@ -67,12 +76,10 @@ class DevicePort
     {
         panic_if(addr % kBlockSize != 0 || len > kBlockSize,
                  "port functional read must target a single block");
-        for (auto it = write_fifo_.rbegin(); it != write_fifo_.rend();
-             ++it) {
-            if (it->req.addr == addr) {
-                std::memcpy(buf, it->req.data.data(), len);
-                return;
-            }
+        auto it = staged_writes_.find(addr);
+        if (it != staged_writes_.end()) {
+            std::memcpy(buf, it->second.newest->data.data(), len);
+            return;
         }
         dev_.store().read(addr, buf, len);
     }
@@ -121,6 +128,7 @@ class DevicePort
     {
         read_fifo_.clear();
         write_fifo_.clear();
+        staged_writes_.clear();
         drain_waiters_.clear();
         read_blocked_ = false;
         write_blocked_ = false;
@@ -153,6 +161,15 @@ class DevicePort
             }
             Item item = std::move(fifo.front());
             fifo.pop_front();
+            if (is_write) {
+                auto it = staged_writes_.find(item.req.addr);
+                panic_if(it == staged_writes_.end(),
+                         "staged write missing from index");
+                // The FIFO pops oldest-first, so the newest staged write
+                // for this address only leaves when it is the last one.
+                if (--it->second.count == 0)
+                    staged_writes_.erase(it);
+            }
             bool ok = dev_.enqueue(std::move(item.req));
             panic_if(!ok, "device rejected request after canAccept");
             if (item.on_accept)
@@ -183,9 +200,19 @@ class DevicePort
         });
     }
 
+    /** Per-address view of the staged writes: how many are in the FIFO
+     *  and where the newest one's data lives. Keeps functionalRead O(1)
+     *  instead of scanning the (unbounded) write FIFO. */
+    struct StagedWrite
+    {
+        std::size_t count = 0;
+        const DeviceRequest* newest = nullptr;
+    };
+
     MemDevice& dev_;
     std::deque<Item> read_fifo_;
     std::deque<Item> write_fifo_;
+    std::unordered_map<Addr, StagedWrite> staged_writes_;
     std::vector<std::function<void()>> drain_waiters_;
     bool read_blocked_ = false;
     bool write_blocked_ = false;

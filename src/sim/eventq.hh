@@ -5,14 +5,29 @@
  * An EventQueue orders callbacks by tick (picoseconds) with FIFO tie
  * breaking, so simulation outcomes are fully deterministic. Components
  * schedule either ad-hoc lambdas or reusable Event objects.
+ *
+ * Hot-path design (DESIGN.md "Simulator performance"):
+ *  - Callbacks are stored in a small-buffer-optimized inline callable
+ *    (InlineFn); captures up to 48 bytes — which covers every callback
+ *    the simulator schedules — never touch the heap.
+ *  - Same-tick continuations (scheduleIn(0, ...): device completions,
+ *    table-lookup callbacks, CPU step chaining) bypass the binary heap
+ *    through a FIFO ring whose backing storage is reused, so
+ *    steady-state scheduling performs zero heap allocations.
+ *  - A single global sequence number orders the ring against the heap,
+ *    preserving exact tick+FIFO semantics regardless of which path an
+ *    item took.
  */
 
 #ifndef THYNVM_SIM_EVENTQ_HH
 #define THYNVM_SIM_EVENTQ_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
@@ -22,16 +37,155 @@ namespace thynvm {
 
 class EventQueue;
 
+namespace detail {
+
+/**
+ * A move-only type-erased `void()` callable with inline storage.
+ *
+ * Callables up to kInlineBytes whose move constructor cannot throw are
+ * stored in place; anything larger falls back to a heap allocation.
+ * Unlike std::function this never allocates for the capture sizes the
+ * simulator uses, and it accepts move-only captures.
+ */
+class InlineFn
+{
+  public:
+    /** Inline capture capacity; fits `[this, done = std::function]`. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    InlineFn() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFn>>>
+    InlineFn(F&& fn) // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+            ops_ = &kOps<Fn, true>;
+        } else {
+            ::new (static_cast<void*>(storage_))
+                Fn*(new Fn(std::forward<F>(fn)));
+            ops_ = &kOps<Fn, false>;
+        }
+    }
+
+    InlineFn(InlineFn&& other) noexcept : ops_(other.ops_)
+    {
+        if (ops_ != nullptr) {
+            ops_->relocate(other.storage_, storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    InlineFn&
+    operator=(InlineFn&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_ != nullptr) {
+                ops_->relocate(other.storage_, storage_);
+                other.ops_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    InlineFn(const InlineFn&) = delete;
+    InlineFn& operator=(const InlineFn&) = delete;
+
+    ~InlineFn() { reset(); }
+
+    /** True if a callable is held. */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke the held callable. */
+    void
+    operator()()
+    {
+        ops_->invoke(storage_);
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void* self);
+        /** Move-construct into @p dst, destroy @p src. */
+        void (*relocate)(void* src, void* dst);
+        void (*destroy)(void* self);
+    };
+
+    template <typename Fn, bool Inline>
+    struct Model
+    {
+        static Fn*
+        get(void* s)
+        {
+            if constexpr (Inline)
+                return std::launder(reinterpret_cast<Fn*>(s));
+            else
+                return *std::launder(reinterpret_cast<Fn**>(s));
+        }
+        static void invoke(void* s) { (*get(s))(); }
+        static void
+        relocate(void* src, void* dst)
+        {
+            if constexpr (Inline) {
+                Fn* f = get(src);
+                ::new (dst) Fn(std::move(*f));
+                f->~Fn();
+            } else {
+                ::new (dst) Fn*(get(src));
+            }
+        }
+        static void
+        destroy(void* s)
+        {
+            if constexpr (Inline)
+                get(s)->~Fn();
+            else
+                delete get(s);
+        }
+    };
+
+    template <typename Fn, bool Inline>
+    static constexpr Ops kOps = {&Model<Fn, Inline>::invoke,
+                                 &Model<Fn, Inline>::relocate,
+                                 &Model<Fn, Inline>::destroy};
+
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    const Ops* ops_ = nullptr;
+};
+
+} // namespace detail
+
 /**
  * A reusable, cancellable event. An Event may be scheduled on at most
  * one tick at a time; rescheduling while pending is an error unless the
- * event is first deschedule()d.
+ * event is first deschedule()d. Components with a fixed callback should
+ * prefer a member Event over ad-hoc lambdas: scheduling one costs no
+ * callable construction at all.
  */
 class Event
 {
   public:
     /** @param fn callback run when the event fires. */
-    explicit Event(std::function<void()> fn) : fn_(std::move(fn)) {}
+    template <typename F>
+    explicit Event(F&& fn) : fn_(std::forward<F>(fn))
+    {}
 
     Event(const Event&) = delete;
     Event& operator=(const Event&) = delete;
@@ -44,7 +198,7 @@ class Event
   private:
     friend class EventQueue;
 
-    std::function<void()> fn_;
+    detail::InlineFn fn_;
     bool scheduled_ = false;
     /** Cancellation generation: bumping it invalidates queued firings. */
     std::uint64_t generation_ = 0;
@@ -52,7 +206,8 @@ class Event
 };
 
 /**
- * Deterministic priority queue of timed callbacks.
+ * Deterministic priority queue of timed callbacks with a same-tick
+ * FIFO fast path.
  */
 class EventQueue
 {
@@ -65,20 +220,29 @@ class EventQueue
     Tick now() const { return now_; }
 
     /** Schedule a one-shot callback at absolute tick @p when. */
+    template <typename F>
     void
-    schedule(Tick when, std::function<void()> fn)
+    schedule(Tick when, F&& fn)
     {
         panic_if(when < now_, "scheduling in the past (%lu < %lu)",
                  static_cast<unsigned long>(when),
                  static_cast<unsigned long>(now_));
-        heap_.push(Item{when, seq_++, std::move(fn), nullptr, 0});
+        if (when == now_) {
+            ring_.push_back(Item{when, seq_++, nullptr, 0,
+                                 detail::InlineFn(std::forward<F>(fn))});
+            ++fast_path_schedules_;
+        } else {
+            pushHeap(Item{when, seq_++, nullptr, 0,
+                          detail::InlineFn(std::forward<F>(fn))});
+        }
     }
 
     /** Schedule a one-shot callback @p delta ticks from now. */
+    template <typename F>
     void
-    scheduleIn(Tick delta, std::function<void()> fn)
+    scheduleIn(Tick delta, F&& fn)
     {
-        schedule(now_ + delta, std::move(fn));
+        schedule(now_ + delta, std::forward<F>(fn));
     }
 
     /** Schedule a reusable @p event at absolute tick @p when. */
@@ -89,7 +253,14 @@ class EventQueue
         panic_if(when < now_, "scheduling in the past");
         event.scheduled_ = true;
         event.when_ = when;
-        heap_.push(Item{when, seq_++, nullptr, &event, event.generation_});
+        if (when == now_) {
+            ring_.push_back(Item{when, seq_++, &event, event.generation_,
+                                 detail::InlineFn()});
+            ++fast_path_schedules_;
+        } else {
+            pushHeap(Item{when, seq_++, &event, event.generation_,
+                          detail::InlineFn()});
+        }
     }
 
     /** Cancel a pending @p event. No-op if not scheduled. */
@@ -106,17 +277,31 @@ class EventQueue
     void
     step()
     {
-        panic_if(heap_.empty(), "stepping an empty event queue");
-        Item item = heap_.top();
-        heap_.pop();
+        panic_if(empty(), "stepping an empty event queue");
+        // The ring holds only items at the current tick, so it can only
+        // lose the FIFO tie against a heap item at that same tick that
+        // was scheduled earlier (smaller sequence number).
+        Item item;
+        if (!ring_.empty() &&
+            (heap_.empty() || ring_.front().when < heap_.front().when ||
+             (ring_.front().when == heap_.front().when &&
+              ring_.front().seq < heap_.front().seq))) {
+            item = ring_.take_front();
+        } else {
+            std::pop_heap(heap_.begin(), heap_.end(), Later{});
+            item = std::move(heap_.back());
+            heap_.pop_back();
+        }
         panic_if(item.when < now_, "event queue went backwards");
         now_ = item.when;
         if (item.event != nullptr) {
             if (item.event->generation_ != item.generation)
                 return; // cancelled
             item.event->scheduled_ = false;
+            ++events_executed_;
             item.event->fn_();
         } else {
+            ++events_executed_;
             item.fn();
         }
     }
@@ -125,21 +310,33 @@ class EventQueue
     bool
     empty() const
     {
-        return heap_.empty();
+        return heap_.empty() && ring_.empty();
     }
 
     /** Number of pending items (including lazily cancelled ones). */
-    std::size_t size() const { return heap_.size(); }
+    std::size_t size() const { return heap_.size() + ring_.size(); }
+
+    /** Callbacks executed since construction (perf instrumentation). */
+    std::uint64_t eventsExecuted() const { return events_executed_; }
+
+    /** Schedules that took the same-tick FIFO fast path. */
+    std::uint64_t fastPathSchedules() const { return fast_path_schedules_; }
 
     /**
      * Drop every pending event without running it. Used at a simulated
      * power failure: all components' volatile state is reset together,
      * so their in-flight callbacks are void. Time does not move.
+     * Reusable events that were still queued are left descheduled and
+     * may be rescheduled freely afterwards.
      */
     void
     clear()
     {
-        heap_ = {};
+        for (auto& item : heap_)
+            dropEvent(item);
+        ring_.for_each([this](Item& item) { dropEvent(item); });
+        heap_.clear();
+        ring_.clear();
     }
 
     /**
@@ -149,7 +346,7 @@ class EventQueue
     Tick
     run(Tick limit = kMaxTick)
     {
-        while (!heap_.empty() && heap_.top().when <= limit)
+        while (!empty() && nextWhen() <= limit)
             step();
         if (now_ < limit && limit != kMaxTick)
             now_ = limit;
@@ -164,7 +361,7 @@ class EventQueue
     runUntil(const std::function<bool()>& done)
     {
         while (!done()) {
-            panic_if(heap_.empty(),
+            panic_if(empty(),
                      "event queue drained before condition held");
             step();
         }
@@ -174,24 +371,115 @@ class EventQueue
   private:
     struct Item
     {
-        Tick when;
-        std::uint64_t seq;
-        std::function<void()> fn;
-        Event* event;
-        std::uint64_t generation;
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        Event* event = nullptr;
+        std::uint64_t generation = 0;
+        detail::InlineFn fn;
+    };
 
+    /** Min-heap comparator: later (when, seq) sinks. */
+    struct Later
+    {
         bool
-        operator>(const Item& other) const
+        operator()(const Item& a, const Item& b) const
         {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+    /**
+     * FIFO of same-tick items backed by a vector that is reused rather
+     * than freed: pushes append, pops advance a head cursor, and the
+     * storage rewinds to the front whenever the ring empties.
+     */
+    class Ring
+    {
+      public:
+        bool empty() const { return head_ == items_.size(); }
+        std::size_t size() const { return items_.size() - head_; }
+        const Item& front() const { return items_[head_]; }
+
+        void
+        push_back(Item&& item)
+        {
+            if (head_ == items_.size())
+                rewind();
+            items_.push_back(std::move(item));
+        }
+
+        Item
+        take_front()
+        {
+            Item item = std::move(items_[head_++]);
+            if (head_ == items_.size())
+                rewind();
+            return item;
+        }
+
+        template <typename Fn>
+        void
+        for_each(Fn&& fn)
+        {
+            for (std::size_t i = head_; i < items_.size(); ++i)
+                fn(items_[i]);
+        }
+
+        void
+        clear()
+        {
+            rewind();
+        }
+
+      private:
+        void
+        rewind()
+        {
+            items_.clear(); // keeps capacity: steady state allocates 0
+            head_ = 0;
+        }
+
+        std::vector<Item> items_;
+        std::size_t head_ = 0;
+    };
+
+    void
+    pushHeap(Item&& item)
+    {
+        heap_.push_back(std::move(item));
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
+    }
+
+    /** Earliest pending tick; queue must not be empty. */
+    Tick
+    nextWhen() const
+    {
+        if (ring_.empty())
+            return heap_.front().when;
+        if (heap_.empty())
+            return ring_.front().when;
+        return std::min(ring_.front().when, heap_.front().when);
+    }
+
+    /** Reset a queued reusable event's state as part of clear(). */
+    static void
+    dropEvent(Item& item)
+    {
+        if (item.event != nullptr &&
+            item.event->generation_ == item.generation) {
+            item.event->scheduled_ = false;
+            ++item.event->generation_;
+        }
+    }
+
+    std::vector<Item> heap_;
+    Ring ring_;
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
+    std::uint64_t events_executed_ = 0;
+    std::uint64_t fast_path_schedules_ = 0;
 };
 
 } // namespace thynvm

@@ -150,5 +150,142 @@ TEST(EventQueueTest, TimeAdvancesAcrossClear)
     EXPECT_EQ(eq.now(), 150u);
 }
 
+// ---------------------------------------------------------------------
+// Same-tick FIFO fast path vs heap ordering.
+// ---------------------------------------------------------------------
+
+TEST(EventQueueTest, SameTickContinuationsPreserveGlobalFifoOrder)
+{
+    // A and B are pre-scheduled (heap path) at the same tick. A's
+    // callback schedules a zero-delay continuation (FIFO fast path).
+    // The continuation was scheduled *after* B, so it must run after B.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] {
+        order.push_back(1);
+        eq.scheduleIn(0, [&] { order.push_back(3); });
+    });
+    eq.schedule(100, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueueTest, FastPathChainsDrainBeforeTimeAdvances)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(50, [&] {
+        order.push_back(1);
+        eq.scheduleIn(0, [&] {
+            order.push_back(2);
+            eq.scheduleIn(0, [&] { order.push_back(3); });
+        });
+    });
+    eq.schedule(51, [&] { order.push_back(4); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, SameTickReusableEventInterleavesWithLambdas)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    Event ev([&] { order.push_back(2); });
+    eq.schedule(10, [&] {
+        order.push_back(1);
+        eq.schedule(ev, eq.now());          // same-tick fast path
+        eq.scheduleIn(0, [&] { order.push_back(3); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTickEventCanBeDescheduled)
+{
+    EventQueue eq;
+    int fired = 0;
+    Event ev([&] { ++fired; });
+    eq.schedule(10, [&] {
+        eq.schedule(ev, eq.now());
+        eq.deschedule(ev);
+    });
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_FALSE(ev.scheduled());
+}
+
+TEST(EventQueueTest, DescheduleRescheduleCycleOnFastPath)
+{
+    EventQueue eq;
+    std::vector<Tick> fired_at;
+    Event ev([&] { fired_at.push_back(eq.now()); });
+    eq.schedule(10, [&] {
+        eq.schedule(ev, eq.now());
+        eq.deschedule(ev);
+        eq.schedule(ev, eq.now() + 5);
+    });
+    eq.run();
+    EXPECT_EQ(fired_at, (std::vector<Tick>{15}));
+}
+
+TEST(EventQueueTest, CountsExecutedEventsAndFastPathSchedules)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] { eq.scheduleIn(0, [] {}); });
+    eq.schedule(20, [] {});
+    eq.run();
+    EXPECT_EQ(eq.eventsExecuted(), 3u);
+    EXPECT_EQ(eq.fastPathSchedules(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// clear() and reusable events (the epoch-timer-across-crash() bug).
+// ---------------------------------------------------------------------
+
+TEST(EventQueueTest, ClearLeavesReusableEventsReschedulable)
+{
+    // Regression: clear() used to drop the queue without resetting the
+    // scheduled_ flag of queued reusable events, so re-arming a member
+    // event (e.g. the epoch timer after crash()) panicked with "event
+    // already scheduled".
+    EventQueue eq;
+    int fired = 0;
+    Event ev([&] { ++fired; });
+    eq.schedule(ev, 100);
+    eq.clear();
+    EXPECT_FALSE(ev.scheduled());
+    eq.schedule(ev, 200); // must not panic
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 200u);
+}
+
+TEST(EventQueueTest, ClearMidEpochDropsBothPaths)
+{
+    // A mid-tick clear must drop heap items and same-tick continuations
+    // alike, and reusable events queued on either path must be left
+    // reschedulable.
+    EventQueue eq;
+    int fired = 0;
+    Event heap_ev([&] { ++fired; });
+    Event fifo_ev([&] { ++fired; });
+    eq.schedule(10, [&] {
+        eq.schedule(fifo_ev, eq.now());
+        eq.scheduleIn(0, [&] { ++fired; });
+        eq.schedule(heap_ev, 500);
+        eq.clear();
+    });
+    eq.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(heap_ev.scheduled());
+    EXPECT_FALSE(fifo_ev.scheduled());
+    eq.schedule(heap_ev, 600);
+    eq.schedule(fifo_ev, 600);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
 } // namespace
 } // namespace thynvm
