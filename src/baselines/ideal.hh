@@ -57,17 +57,11 @@ class IdealController : public MemController
         panic_if(paddr % kBlockSize != 0, "unaligned controller access");
         panic_if(paddr + kBlockSize > phys_size_,
                  "physical address out of range");
-        DeviceRequest req;
-        req.addr = paddr;
-        req.is_write = is_write;
-        req.source = source;
         if (is_write) {
-            std::memcpy(req.data.data(), wdata, kBlockSize);
-            port_.send(std::move(req), std::move(done));
+            port_.sendWrite(paddr, wdata, source, {}, std::move(done));
         } else {
             port_.functionalRead(paddr, rdata, kBlockSize);
-            req.on_complete = std::move(done);
-            port_.send(std::move(req));
+            port_.sendRead(paddr, source, std::move(done));
         }
     }
 

@@ -101,20 +101,13 @@ JournalController::accessBlock(Addr paddr, bool is_write,
 
     auto it = table_.find(paddr);
     if (!is_write) {
-        DeviceRequest req;
-        req.addr = 0;
-        req.is_write = false;
-        req.source = source;
-        req.on_complete = std::move(done);
         if (it != table_.end()) {
             const Addr slot = dramSlotAddr(it->second);
             dram_port_.functionalRead(slot, rdata, kBlockSize);
-            req.addr = slot;
-            dram_port_.send(std::move(req));
+            dram_port_.sendRead(slot, source, std::move(done));
         } else {
             nvm_port_.functionalRead(paddr, rdata, kBlockSize);
-            req.addr = paddr;
-            nvm_port_.send(std::move(req));
+            nvm_port_.sendRead(paddr, source, std::move(done));
         }
         return;
     }
@@ -138,12 +131,8 @@ JournalController::accessBlock(Addr paddr, bool is_write,
         }
     }
 
-    DeviceRequest req;
-    req.addr = dramSlotAddr(slot);
-    req.is_write = true;
-    req.source = TrafficSource::CpuWriteback;
-    std::memcpy(req.data.data(), wdata, kBlockSize);
-    dram_port_.send(std::move(req), std::move(done));
+    dram_port_.sendWrite(dramSlotAddr(slot), wdata,
+                         TrafficSource::CpuWriteback, {}, std::move(done));
 }
 
 void
@@ -197,29 +186,16 @@ JournalController::doCheckpoint(std::function<void()> done)
         std::uint8_t data[kBlockSize];
         dram_port_.functionalRead(dramSlotAddr(slot), data, kBlockSize);
 
-        DeviceRequest rd;
-        rd.addr = dramSlotAddr(slot);
-        rd.is_write = false;
-        rd.source = TrafficSource::Checkpoint;
-        dram_port_.send(std::move(rd));
-
-        DeviceRequest wr;
-        wr.addr = journalDataAddr(i);
-        wr.is_write = true;
-        wr.source = TrafficSource::Checkpoint;
-        std::memcpy(wr.data.data(), data, kBlockSize);
-        nvm_port_.send(std::move(wr));
+        dram_port_.sendRead(dramSlotAddr(slot), TrafficSource::Checkpoint);
+        nvm_port_.sendWrite(journalDataAddr(i), data,
+                            TrafficSource::Checkpoint);
         ++journaled_blocks_;
 
         std::memcpy(meta.data() + i * 8, &paddr, 8);
     }
     for (std::size_t off = 0; off < meta.size(); off += kBlockSize) {
-        DeviceRequest wr;
-        wr.addr = journalMetaAddr() + off;
-        wr.is_write = true;
-        wr.source = TrafficSource::Checkpoint;
-        std::memcpy(wr.data.data(), meta.data() + off, kBlockSize);
-        nvm_port_.send(std::move(wr));
+        nvm_port_.sendWrite(journalMetaAddr() + off, meta.data() + off,
+                            TrafficSource::Checkpoint);
     }
 
     // CPU state blob.
@@ -230,12 +206,8 @@ JournalController::doCheckpoint(std::function<void()> done)
     std::memcpy(cpu.data(), &cpu_len, 8);
     std::memcpy(cpu.data() + 8, cpu_state_.data(), cpu_state_.size());
     for (std::size_t off = 0; off < cpu.size(); off += kBlockSize) {
-        DeviceRequest wr;
-        wr.addr = cpuAddr() + off;
-        wr.is_write = true;
-        wr.source = TrafficSource::Checkpoint;
-        std::memcpy(wr.data.data(), cpu.data() + off, kBlockSize);
-        nvm_port_.send(std::move(wr));
+        nvm_port_.sendWrite(cpuAddr() + off, cpu.data() + off,
+                            TrafficSource::Checkpoint);
     }
 
     const std::uint64_t epoch = epoch_num_++;
@@ -250,12 +222,10 @@ JournalController::doCheckpoint(std::function<void()> done)
         hdr.epoch = epoch;
         hdr.count = commit_entries->size();
         hdr.cpu_len = cpu_state_.size();
-        DeviceRequest wr;
-        wr.addr = headerAddr();
-        wr.is_write = true;
-        wr.source = TrafficSource::Checkpoint;
-        std::memcpy(wr.data.data(), &hdr, sizeof(hdr));
-        nvm_port_.send(std::move(wr));
+        std::uint8_t hdr_blk[kBlockSize] = {};
+        std::memcpy(hdr_blk, &hdr, sizeof(hdr));
+        nvm_port_.sendWrite(headerAddr(), hdr_blk,
+                            TrafficSource::Checkpoint);
 
         // Phase 3: apply in place, then retire the journal.
         nvm_port_.notifyWhenWritesDurable([this, epoch, commit_entries,
@@ -265,24 +235,18 @@ JournalController::doCheckpoint(std::function<void()> done)
                 std::uint8_t data[kBlockSize];
                 dram_port_.functionalRead(dramSlotAddr(slot), data,
                                           kBlockSize);
-                DeviceRequest wr;
-                wr.addr = paddr;
-                wr.is_write = true;
-                wr.source = TrafficSource::Checkpoint;
-                std::memcpy(wr.data.data(), data, kBlockSize);
-                nvm_port_.send(std::move(wr));
+                nvm_port_.sendWrite(paddr, data,
+                                    TrafficSource::Checkpoint);
                 ++applied_blocks_;
             }
             nvm_port_.notifyWhenWritesDurable([this, epoch,
                                                done = std::move(done)]()
                                                   mutable {
                 AppliedMarker mk{kJournalMagic, epoch};
-                DeviceRequest wr;
-                wr.addr = appliedAddr();
-                wr.is_write = true;
-                wr.source = TrafficSource::Checkpoint;
-                std::memcpy(wr.data.data(), &mk, sizeof(mk));
-                nvm_port_.send(std::move(wr));
+                std::uint8_t mk_blk[kBlockSize] = {};
+                std::memcpy(mk_blk, &mk, sizeof(mk));
+                nvm_port_.sendWrite(appliedAddr(), mk_blk,
+                                    TrafficSource::Checkpoint);
                 nvm_port_.notifyWhenWritesDurable(
                     [this, done = std::move(done)]() mutable {
                         table_.clear();
@@ -348,32 +312,20 @@ JournalController::recover(std::function<void()> done)
                                       kBlockSize);
                 ++replayed_blocks_;
 
-                DeviceRequest rd;
-                rd.addr = journalDataAddr(i);
-                rd.is_write = false;
-                rd.source = TrafficSource::Recovery;
                 track();
-                rd.on_complete = dec;
-                nvm_port_.send(std::move(rd));
+                nvm_port_.sendRead(journalDataAddr(i),
+                                   TrafficSource::Recovery, dec);
 
-                DeviceRequest wr;
-                wr.addr = paddr;
-                wr.is_write = true;
-                wr.source = TrafficSource::Recovery;
-                std::memcpy(wr.data.data(), data, kBlockSize);
                 track();
-                wr.on_complete = dec;
-                nvm_port_.send(std::move(wr));
+                nvm_port_.sendWrite(paddr, data, TrafficSource::Recovery,
+                                    dec);
             }
             AppliedMarker newmk{kJournalMagic, hdr.epoch};
-            DeviceRequest wr;
-            wr.addr = appliedAddr();
-            wr.is_write = true;
-            wr.source = TrafficSource::Recovery;
-            std::memcpy(wr.data.data(), &newmk, sizeof(newmk));
+            std::uint8_t mk_blk[kBlockSize] = {};
+            std::memcpy(mk_blk, &newmk, sizeof(newmk));
             track();
-            wr.on_complete = dec;
-            nvm_port_.send(std::move(wr));
+            nvm_port_.sendWrite(appliedAddr(), mk_blk,
+                                TrafficSource::Recovery, dec);
         }
         epoch_num_ = hdr.epoch + 1;
     } else {

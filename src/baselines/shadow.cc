@@ -108,18 +108,10 @@ ShadowController::fault(Addr page_paddr)
         std::uint8_t data[kBlockSize];
         nvm_port_.functionalRead(src + blk * kBlockSize, data, kBlockSize);
 
-        DeviceRequest rd;
-        rd.addr = src + blk * kBlockSize;
-        rd.is_write = false;
-        rd.source = TrafficSource::Migration;
-        nvm_port_.send(std::move(rd));
-
-        DeviceRequest wr;
-        wr.addr = slot * kPageSize + blk * kBlockSize;
-        wr.is_write = true;
-        wr.source = TrafficSource::Migration;
-        std::memcpy(wr.data.data(), data, kBlockSize);
-        dram_port_.send(std::move(wr));
+        nvm_port_.sendRead(src + blk * kBlockSize,
+                           TrafficSource::Migration);
+        dram_port_.sendWrite(slot * kPageSize + blk * kBlockSize, data,
+                             TrafficSource::Migration);
     }
 
     auto [nit, ok] =
@@ -167,18 +159,8 @@ ShadowController::flushPage(Addr page_paddr, Resident& r,
         dram_port_.functionalRead(r.slot * kPageSize + blk * kBlockSize,
                                   data, kBlockSize);
 
-        DeviceRequest rd;
-        rd.addr = r.slot * kPageSize + blk * kBlockSize;
-        rd.is_write = false;
-        rd.source = src;
-        dram_port_.send(std::move(rd));
-
-        DeviceRequest wr;
-        wr.addr = dst + blk * kBlockSize;
-        wr.is_write = true;
-        wr.source = src;
-        std::memcpy(wr.data.data(), data, kBlockSize);
-        nvm_port_.send(std::move(wr));
+        dram_port_.sendRead(r.slot * kPageSize + blk * kBlockSize, src);
+        nvm_port_.sendWrite(dst + blk * kBlockSize, data, src);
     }
     working_nvm_valid_[idx] = 1;
     r.dirty = false;
@@ -198,34 +180,24 @@ ShadowController::accessBlock(Addr paddr, bool is_write,
     auto it = resident_.find(page);
 
     if (!is_write) {
-        DeviceRequest req;
-        req.is_write = false;
-        req.source = source;
-        req.on_complete = std::move(done);
         if (it != resident_.end()) {
             it->second.lru = ++lru_clock_;
             const Addr a =
                 it->second.slot * kPageSize + (paddr - page);
             dram_port_.functionalRead(a, rdata, kBlockSize);
-            req.addr = a;
-            dram_port_.send(std::move(req));
+            dram_port_.sendRead(a, source, std::move(done));
         } else {
             const Addr a = visibleNvmPage(page) + (paddr - page);
             nvm_port_.functionalRead(a, rdata, kBlockSize);
-            req.addr = a;
-            nvm_port_.send(std::move(req));
+            nvm_port_.sendRead(a, source, std::move(done));
         }
         return;
     }
 
     Resident& r = fault(page);
     r.dirty = true;
-    DeviceRequest req;
-    req.addr = r.slot * kPageSize + (paddr - page);
-    req.is_write = true;
-    req.source = TrafficSource::CpuWriteback;
-    std::memcpy(req.data.data(), wdata, kBlockSize);
-    dram_port_.send(std::move(req), std::move(done));
+    dram_port_.sendWrite(r.slot * kPageSize + (paddr - page), wdata,
+                         TrafficSource::CpuWriteback, {}, std::move(done));
 }
 
 void
@@ -285,12 +257,8 @@ ShadowController::doCheckpoint(std::function<void()> done)
 
     const unsigned k = static_cast<unsigned>(epoch_num_ & 1);
     for (std::size_t off = 0; off < table.size(); off += kBlockSize) {
-        DeviceRequest wr;
-        wr.addr = tableAddr(k) + off;
-        wr.is_write = true;
-        wr.source = TrafficSource::Checkpoint;
-        std::memcpy(wr.data.data(), table.data() + off, kBlockSize);
-        nvm_port_.send(std::move(wr));
+        nvm_port_.sendWrite(tableAddr(k) + off, table.data() + off,
+                            TrafficSource::Checkpoint);
     }
 
     std::vector<std::uint8_t> cpu(roundUp(8 + cpu_state_.size(),
@@ -300,12 +268,8 @@ ShadowController::doCheckpoint(std::function<void()> done)
     std::memcpy(cpu.data(), &cpu_len, 8);
     std::memcpy(cpu.data() + 8, cpu_state_.data(), cpu_state_.size());
     for (std::size_t off = 0; off < cpu.size(); off += kBlockSize) {
-        DeviceRequest wr;
-        wr.addr = cpuAddr(k) + off;
-        wr.is_write = true;
-        wr.source = TrafficSource::Checkpoint;
-        std::memcpy(wr.data.data(), cpu.data() + off, kBlockSize);
-        nvm_port_.send(std::move(wr));
+        nvm_port_.sendWrite(cpuAddr(k) + off, cpu.data() + off,
+                            TrafficSource::Checkpoint);
     }
 
     nvm_port_.notifyWhenWritesDurable([this, k,
@@ -314,12 +278,10 @@ ShadowController::doCheckpoint(std::function<void()> done)
         hdr.magic = kShadowMagic;
         hdr.epoch = epoch_num_;
         hdr.cpu_len = cpu_state_.size();
-        DeviceRequest wr;
-        wr.addr = headerAddr(k);
-        wr.is_write = true;
-        wr.source = TrafficSource::Checkpoint;
-        std::memcpy(wr.data.data(), &hdr, sizeof(hdr));
-        nvm_port_.send(std::move(wr));
+        std::uint8_t hdr_blk[kBlockSize] = {};
+        std::memcpy(hdr_blk, &hdr, sizeof(hdr));
+        nvm_port_.sendWrite(headerAddr(k), hdr_blk,
+                            TrafficSource::Checkpoint);
         nvm_port_.notifyWhenWritesDurable(
             [this, done = std::move(done)]() mutable {
                 // Commit: flip slots for flushed pages.
@@ -387,12 +349,8 @@ ShadowController::recover(std::function<void()> done)
             committed_slot_[i] = table[i] & 1u;
         for (std::size_t off = 0; off < table.size(); off += kBlockSize) {
             ++*outstanding;
-            DeviceRequest rd;
-            rd.addr = tableAddr(k) + off;
-            rd.is_write = false;
-            rd.source = TrafficSource::Recovery;
-            rd.on_complete = dec;
-            nvm_port_.send(std::move(rd));
+            nvm_port_.sendRead(tableAddr(k) + off, TrafficSource::Recovery,
+                               dec);
         }
         recovered_cpu_state_.resize(cpu_len);
         std::uint64_t stored_len = 0;

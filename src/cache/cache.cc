@@ -82,7 +82,10 @@ Cache::accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
         line->lru = ++lru_clock_;
         if (is_write) {
             std::memcpy(line->data.data(), wdata, kBlockSize);
-            line->dirty = true;
+            if (!line->dirty) {
+                line->dirty = true;
+                ++dirty_lines_;
+            }
         } else {
             std::memcpy(rdata, line->data.data(), kBlockSize);
         }
@@ -98,6 +101,7 @@ Cache::accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
     Line& victim = victimFor(paddr);
     if (victim.valid && victim.dirty) {
         ++writebacks_;
+        --dirty_lines_;
         next_.accessBlock(victim.tag, true, victim.data.data(), nullptr,
                           TrafficSource::CpuWriteback, nullptr);
     }
@@ -121,6 +125,7 @@ Cache::accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
     if (is_write) {
         std::memcpy(victim.data.data(), wdata, kBlockSize);
         victim.dirty = true;
+        ++dirty_lines_;
     } else {
         std::memcpy(rdata, victim.data.data(), kBlockSize);
     }
@@ -129,6 +134,14 @@ Cache::accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
 void
 Cache::flushDirty(std::function<void()> done)
 {
+    // Checkpoint flushes on an already-clean cache are common in
+    // page-dominated phases; skip the line scan entirely.
+    if (dirty_lines_ == 0) {
+        if (done)
+            eventq_.scheduleIn(0, std::move(done));
+        return;
+    }
+
     // Issue a clean-without-invalidate writeback for every dirty block.
     // All writebacks are issued in one pass; a shared counter fires the
     // continuation once the next level has acknowledged each of them.
@@ -150,10 +163,13 @@ Cache::flushDirty(std::function<void()> done)
         if (!line.valid || !line.dirty)
             continue;
         line.dirty = false;
+        --dirty_lines_;
         ++flush_writebacks_;
         ++*outstanding;
         next_.accessBlock(line.tag, true, line.data.data(), nullptr,
                           TrafficSource::CpuWriteback, on_ack);
+        if (dirty_lines_ == 0)
+            break;
     }
 
     *all_issued = true;
@@ -171,17 +187,7 @@ Cache::invalidateAll()
         line.valid = false;
         line.dirty = false;
     }
-}
-
-std::size_t
-Cache::dirtyBlockCount() const
-{
-    std::size_t count = 0;
-    for (const auto& line : lines_) {
-        if (line.valid && line.dirty)
-            ++count;
-    }
-    return count;
+    dirty_lines_ = 0;
 }
 
 } // namespace thynvm

@@ -74,8 +74,8 @@ class Cache : public SimObject, public BlockAccessor
     /** Drop all contents without writeback (power loss). */
     void invalidateAll();
 
-    /** Number of dirty blocks currently held. */
-    std::size_t dirtyBlockCount() const;
+    /** Number of dirty blocks currently held. O(1). */
+    std::size_t dirtyBlockCount() const { return dirty_lines_; }
 
     /** Cache geometry. */
     const Params& params() const { return params_; }
@@ -100,6 +100,9 @@ class Cache : public SimObject, public BlockAccessor
     std::size_t num_sets_;
     std::vector<Line> lines_;
     std::uint64_t lru_clock_ = 0;
+    /** Running count of valid dirty lines; keeps flushes on clean
+     *  caches and dirtyBlockCount() O(1). */
+    std::size_t dirty_lines_ = 0;
 
     stats::Scalar hits_;
     stats::Scalar misses_;

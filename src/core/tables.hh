@@ -103,17 +103,23 @@ struct PttEntry
 
 /**
  * Fixed-capacity translation table with address lookup and a free list.
+ *
+ * The free list is an intrusive doubly-linked stack over per-entry
+ * next/prev indices, so allocate() and release() stay LIFO while
+ * allocateAt() — recovery re-allocating entries at their original
+ * indices — unlinks an arbitrary slot in O(1) instead of scanning.
  */
 template <typename EntryT>
 class TranslationTable
 {
   public:
     explicit TranslationTable(std::size_t capacity)
-        : entries_(capacity)
+        : entries_(capacity),
+          free_next_(capacity, npos),
+          free_prev_(capacity, npos),
+          in_free_(capacity, 0)
     {
-        free_list_.reserve(capacity);
-        for (std::size_t i = capacity; i-- > 0;)
-            free_list_.push_back(i);
+        resetFreeList();
     }
 
     /** Table capacity in entries. */
@@ -121,7 +127,7 @@ class TranslationTable
     /** Number of live entries. */
     std::size_t live() const { return map_.size(); }
     /** True if no free entry remains. */
-    bool full() const { return free_list_.empty(); }
+    bool full() const { return free_count_ == 0; }
 
     /** Index of the entry tagged @p paddr, or npos. */
     std::size_t
@@ -142,9 +148,8 @@ class TranslationTable
         panic_if(map_.count(paddr) != 0, "duplicate table entry");
         EntryT& e = at(idx);
         panic_if(tagOf(e) != kInvalidAddr, "allocateAt on occupied slot");
-        auto it = std::find(free_list_.begin(), free_list_.end(), idx);
-        panic_if(it == free_list_.end(), "slot missing from free list");
-        free_list_.erase(it);
+        panic_if(!in_free_[idx], "slot missing from free list");
+        removeFree(idx);
         e = EntryT{};
         tagOf(e) = paddr;
         map_.emplace(paddr, idx);
@@ -156,10 +161,9 @@ class TranslationTable
     allocate(Addr paddr)
     {
         panic_if(map_.count(paddr) != 0, "duplicate table entry");
-        if (free_list_.empty())
+        if (free_count_ == 0)
             return npos;
-        std::size_t idx = free_list_.back();
-        free_list_.pop_back();
+        std::size_t idx = popFree();
         entries_[idx] = EntryT{};
         tagOf(entries_[idx]) = paddr;
         map_.emplace(paddr, idx);
@@ -174,7 +178,7 @@ class TranslationTable
         panic_if(tagOf(e) == kInvalidAddr, "freeing a free entry");
         map_.erase(tagOf(e));
         e = EntryT{};
-        free_list_.push_back(idx);
+        pushFree(idx);
     }
 
     /** Entry at @p idx (must be a valid index). */
@@ -206,11 +210,9 @@ class TranslationTable
     clear()
     {
         map_.clear();
-        free_list_.clear();
-        for (std::size_t i = entries_.size(); i-- > 0;) {
-            entries_[i] = EntryT{};
-            free_list_.push_back(i);
-        }
+        for (auto& e : entries_)
+            e = EntryT{};
+        resetFreeList();
     }
 
     /** Invalid index sentinel. */
@@ -220,9 +222,63 @@ class TranslationTable
     static Addr& tagOf(BttEntry& e) { return e.block_paddr; }
     static Addr& tagOf(PttEntry& e) { return e.page_paddr; }
 
+    void
+    pushFree(std::size_t idx)
+    {
+        free_prev_[idx] = npos;
+        free_next_[idx] = free_head_;
+        if (free_head_ != npos)
+            free_prev_[free_head_] = idx;
+        free_head_ = idx;
+        in_free_[idx] = 1;
+        ++free_count_;
+    }
+
+    std::size_t
+    popFree()
+    {
+        const std::size_t idx = free_head_;
+        free_head_ = free_next_[idx];
+        if (free_head_ != npos)
+            free_prev_[free_head_] = npos;
+        in_free_[idx] = 0;
+        --free_count_;
+        return idx;
+    }
+
+    void
+    removeFree(std::size_t idx)
+    {
+        if (free_prev_[idx] == npos)
+            free_head_ = free_next_[idx];
+        else
+            free_next_[free_prev_[idx]] = free_next_[idx];
+        if (free_next_[idx] != npos)
+            free_prev_[free_next_[idx]] = free_prev_[idx];
+        in_free_[idx] = 0;
+        --free_count_;
+    }
+
+    /**
+     * Rebuild the free stack with ascending pop order (0, 1, 2, ...),
+     * matching the allocation order simulations have always seen.
+     */
+    void
+    resetFreeList()
+    {
+        free_head_ = npos;
+        free_count_ = 0;
+        for (std::size_t i = entries_.size(); i-- > 0;)
+            pushFree(i);
+    }
+
     std::vector<EntryT> entries_;
     std::unordered_map<Addr, std::size_t> map_;
-    std::vector<std::size_t> free_list_;
+    std::vector<std::size_t> free_next_;
+    std::vector<std::size_t> free_prev_;
+    std::vector<std::uint8_t> in_free_;
+    std::size_t free_head_ = npos;
+    std::size_t free_count_ = 0;
 };
 
 using Btt = TranslationTable<BttEntry>;

@@ -251,13 +251,7 @@ ThyNvmController::sendNvmWrite(Addr addr, const std::uint8_t* data,
                                TrafficSource src,
                                std::function<void()> on_complete)
 {
-    DeviceRequest req;
-    req.addr = addr;
-    req.is_write = true;
-    req.source = src;
-    std::memcpy(req.data.data(), data, kBlockSize);
-    req.on_complete = std::move(on_complete);
-    nvm_port_.send(std::move(req));
+    nvm_port_.sendWrite(addr, data, src, std::move(on_complete));
 }
 
 void
@@ -265,25 +259,15 @@ ThyNvmController::sendDramWrite(Addr addr, const std::uint8_t* data,
                                 TrafficSource src,
                                 std::function<void()> on_complete)
 {
-    DeviceRequest req;
-    req.addr = addr;
-    req.is_write = true;
-    req.source = src;
-    std::memcpy(req.data.data(), data, kBlockSize);
-    req.on_complete = std::move(on_complete);
-    dram_port_.send(std::move(req));
+    dram_port_.sendWrite(addr, data, src, std::move(on_complete));
 }
 
 void
 ThyNvmController::sendTimedRead(bool dram, Addr addr, TrafficSource src,
                                 std::function<void()> on_complete)
 {
-    DeviceRequest req;
-    req.addr = addr;
-    req.is_write = false;
-    req.source = src;
-    req.on_complete = std::move(on_complete);
-    (dram ? dram_port_ : nvm_port_).send(std::move(req));
+    (dram ? dram_port_ : nvm_port_).sendRead(addr, src,
+                                             std::move(on_complete));
 }
 
 // ---------------------------------------------------------------------
@@ -299,12 +283,8 @@ ThyNvmController::handleLoad(Addr block_paddr, std::uint8_t* rdata,
     auto& port = loc.in_dram ? dram_port_ : nvm_port_;
     port.functionalRead(loc.addr, rdata, kBlockSize);
 
-    DeviceRequest req;
-    req.addr = loc.addr;
-    req.is_write = false;
-    req.source = TrafficSource::DemandRead;
-    req.on_complete = afterLookup(std::move(done));
-    port.send(std::move(req));
+    port.sendRead(loc.addr, TrafficSource::DemandRead,
+                  afterLookup(std::move(done)));
 }
 
 // ---------------------------------------------------------------------
@@ -372,12 +352,8 @@ ThyNvmController::storeToPage(std::size_t pidx, Addr block_paddr,
     const Addr slot =
         layout_.dramPageSlot(pidx) + (block_paddr - pe.page_paddr);
 
-    DeviceRequest req;
-    req.addr = slot;
-    req.is_write = true;
-    req.source = TrafficSource::CpuWriteback;
-    std::memcpy(req.data.data(), wdata, kBlockSize);
-    dram_port_.send(std::move(req), afterLookup(std::move(done)));
+    dram_port_.sendWrite(slot, wdata, TrafficSource::CpuWriteback, {},
+                         afterLookup(std::move(done)));
 }
 
 void

@@ -1,6 +1,14 @@
 /**
  * @file
  * MemDevice implementation.
+ *
+ * Scheduling-equivalence note: the slab + per-bank-queue structures are
+ * a faithful reimplementation of the original whole-queue FR-FCFS scan.
+ * The old scan returned the first (oldest-seq) row hit across the whole
+ * queue, else the oldest ready request; per bank that is exactly "the
+ * bank's oldest waiting row hit" and "the bank's FIFO head", so picking
+ * the minimum sequence number among at most `banks` such candidates
+ * reproduces the original choice tick for tick.
  */
 
 #include "mem/device.hh"
@@ -52,7 +60,8 @@ MemDevice::MemDevice(EventQueue& eq, std::string name,
       store_(store ? std::move(store)
                    : std::make_shared<BackingStore>(params.capacity)),
       banks_(params.banks),
-      schedule_event_([this] { trySchedule(); })
+      schedule_event_([this] { trySchedule(); }),
+      wakeup_event_([this] { trySchedule(); })
 {
     fatal_if(params_.banks == 0, "device must have at least one bank");
     fatal_if(params_.row_size == 0 || params_.row_size % kBlockSize != 0,
@@ -62,6 +71,15 @@ MemDevice::MemDevice(EventQueue& eq, std::string name,
     fatal_if(params_.write_drain_low >= params_.write_drain_high ||
                  params_.write_drain_high > params_.write_queue_capacity,
              "invalid write drain watermarks");
+
+    slots_.resize(params_.read_queue_capacity +
+                  params_.write_queue_capacity);
+    for (std::uint32_t i = static_cast<std::uint32_t>(slots_.size());
+         i-- > 0;) {
+        slots_[i].next = free_head_;
+        free_head_ = i;
+    }
+    undo_log_.reserve(2u * params_.write_queue_capacity);
 
     stats().addScalar("reads", &reads_, "read requests serviced");
     stats().addScalar("writes", &writes_, "write requests serviced");
@@ -99,32 +117,118 @@ bool
 MemDevice::canAccept(bool is_write) const
 {
     if (is_write)
-        return write_q_.size() < params_.write_queue_capacity;
-    return read_q_.size() < params_.read_queue_capacity;
+        return write_count_ < params_.write_queue_capacity;
+    return read_count_ < params_.read_queue_capacity;
+}
+
+std::uint32_t
+MemDevice::allocSlot()
+{
+    panic_if(free_head_ == kNullSlot, "slot slab exhausted");
+    const std::uint32_t idx = free_head_;
+    free_head_ = slots_[idx].next;
+    slots_[idx].next = kNullSlot;
+    return idx;
+}
+
+void
+MemDevice::freeSlot(std::uint32_t idx)
+{
+    Slot& sl = slots_[idx];
+    sl.on_complete = nullptr;
+    sl.in_service = false;
+    sl.undo_index = kNullSlot;
+    sl.prev = kNullSlot;
+    sl.next = free_head_;
+    free_head_ = idx;
+}
+
+void
+MemDevice::linkTail(BankQueue& bq, std::uint32_t idx)
+{
+    Slot& sl = slots_[idx];
+    sl.prev = bq.tail;
+    sl.next = kNullSlot;
+    if (bq.tail == kNullSlot)
+        bq.head = idx;
+    else
+        slots_[bq.tail].next = idx;
+    bq.tail = idx;
+}
+
+void
+MemDevice::unlink(BankQueue& bq, std::uint32_t idx)
+{
+    Slot& sl = slots_[idx];
+    if (sl.prev == kNullSlot)
+        bq.head = sl.next;
+    else
+        slots_[sl.prev].next = sl.next;
+    if (sl.next == kNullSlot)
+        bq.tail = sl.prev;
+    else
+        slots_[sl.next].prev = sl.prev;
+    sl.prev = kNullSlot;
+    sl.next = kNullSlot;
+}
+
+std::uint32_t
+MemDevice::scanForRow(std::uint32_t from, std::uint64_t row) const
+{
+    for (std::uint32_t i = from; i != kNullSlot; i = slots_[i].next) {
+        if (slots_[i].row == row)
+            return i;
+    }
+    return kNullSlot;
+}
+
+void
+MemDevice::compactUndoLog()
+{
+    if (undo_log_.size() < 2u * params_.write_queue_capacity)
+        return;
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < undo_log_.size(); ++i) {
+        if (undo_log_[i].slot == kNullSlot)
+            continue;
+        if (out != i) {
+            undo_log_[out] = undo_log_[i];
+            slots_[undo_log_[out].slot].undo_index =
+                static_cast<std::uint32_t>(out);
+        }
+        ++out;
+    }
+    undo_log_.resize(out);
 }
 
 bool
-MemDevice::enqueue(DeviceRequest req)
+MemDevice::enqueueRead(Addr addr, TrafficSource source,
+                       std::function<void()> on_complete)
 {
-    panic_if(req.addr % kBlockSize != 0, "unaligned device request");
-    panic_if(req.addr + kBlockSize > params_.capacity,
+    panic_if(addr % kBlockSize != 0, "unaligned device request");
+    panic_if(addr + kBlockSize > params_.capacity,
              "device request beyond capacity: addr=%llu cap=%zu",
-             static_cast<unsigned long long>(req.addr), params_.capacity);
-    if (!canAccept(req.is_write))
+             static_cast<unsigned long long>(addr), params_.capacity);
+    if (read_count_ >= params_.read_queue_capacity)
         return false;
 
-    QueuedRequest qr;
-    qr.enqueue_tick = curTick();
-    qr.seq = next_seq_++;
-    if (req.is_write) {
-        // Save undo bytes for crash rollback, then apply functionally.
-        store_->read(req.addr, qr.undo.data(), kBlockSize);
-        store_->write(req.addr, req.data.data(), kBlockSize);
-    }
-    qr.req = std::move(req);
+    const std::uint32_t idx = allocSlot();
+    Slot& sl = slots_[idx];
+    sl.addr = addr;
+    sl.row = rowOf(addr);
+    sl.enqueue_tick = curTick();
+    sl.seq = next_seq_++;
+    sl.on_complete = std::move(on_complete);
+    sl.source = source;
+    sl.is_write = false;
+    sl.in_service = false;
 
-    auto& q = qr.req.is_write ? write_q_ : read_q_;
-    q.push_back(std::move(qr));
+    Bank& bank = banks_[bankOf(addr)];
+    BankQueue& bq = bank.q[0];
+    linkTail(bq, idx);
+    if (bank.row_valid && bank.open_row == sl.row && bq.hit == kNullSlot)
+        bq.hit = idx;
+    ++read_count_;
 
     if (!schedule_event_.scheduled()) {
         // Defer scheduling to a zero-delay event so a burst of enqueues
@@ -132,6 +236,61 @@ MemDevice::enqueue(DeviceRequest req)
         eventq_.schedule(schedule_event_, curTick());
     }
     return true;
+}
+
+bool
+MemDevice::enqueueWrite(Addr addr, const std::uint8_t* data,
+                        TrafficSource source,
+                        std::function<void()> on_complete)
+{
+    panic_if(addr % kBlockSize != 0, "unaligned device request");
+    panic_if(addr + kBlockSize > params_.capacity,
+             "device request beyond capacity: addr=%llu cap=%zu",
+             static_cast<unsigned long long>(addr), params_.capacity);
+    if (write_count_ >= params_.write_queue_capacity)
+        return false;
+
+    const std::uint32_t idx = allocSlot();
+    Slot& sl = slots_[idx];
+    sl.addr = addr;
+    sl.row = rowOf(addr);
+    sl.enqueue_tick = curTick();
+    sl.seq = next_seq_++;
+    sl.on_complete = std::move(on_complete);
+    sl.source = source;
+    sl.is_write = true;
+    sl.in_service = false;
+
+    // Save undo bytes for crash rollback, then apply functionally.
+    compactUndoLog();
+    sl.undo_index = static_cast<std::uint32_t>(undo_log_.size());
+    undo_log_.emplace_back();
+    UndoEntry& ue = undo_log_.back();
+    ue.addr = addr;
+    ue.slot = idx;
+    store_->read(addr, ue.old_data.data(), kBlockSize);
+    store_->write(addr, data, kBlockSize);
+
+    Bank& bank = banks_[bankOf(addr)];
+    BankQueue& bq = bank.q[1];
+    linkTail(bq, idx);
+    if (bank.row_valid && bank.open_row == sl.row && bq.hit == kNullSlot)
+        bq.hit = idx;
+    ++write_count_;
+
+    if (!schedule_event_.scheduled())
+        eventq_.schedule(schedule_event_, curTick());
+    return true;
+}
+
+bool
+MemDevice::enqueue(DeviceRequest req)
+{
+    if (req.is_write) {
+        return enqueueWrite(req.addr, req.data.data(), req.source,
+                            std::move(req.on_complete));
+    }
+    return enqueueRead(req.addr, req.source, std::move(req.on_complete));
 }
 
 void
@@ -148,7 +307,7 @@ MemDevice::notifyWhenAccepting(bool is_write, std::function<void()> cb)
 bool
 MemDevice::writesDrained() const
 {
-    return write_q_.empty();
+    return write_count_ == 0;
 }
 
 void
@@ -164,24 +323,40 @@ MemDevice::notifyWhenWritesDrained(std::function<void()> cb)
 void
 MemDevice::crash()
 {
-    // Roll back unserviced writes newest-first so each undo restores the
-    // bytes present when that write was enqueued.
-    for (auto it = write_q_.rbegin(); it != write_q_.rend(); ++it)
-        store_->write(it->req.addr, it->undo.data(), kBlockSize);
+    // Replay the undo log newest-first, skipping entries whose write was
+    // serviced (durable); each applied pre-image restores the bytes
+    // present when that write was enqueued.
+    for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+        if (it->slot != kNullSlot)
+            store_->write(it->addr, it->old_data.data(), kBlockSize);
+    }
     quiesce();
 }
 
 void
 MemDevice::quiesce()
 {
-    write_q_.clear();
-    read_q_.clear();
+    for (auto& bank : banks_) {
+        bank.q[0] = BankQueue{};
+        bank.q[1] = BankQueue{};
+    }
+    // Rebuild the free list over the whole slab, dropping any queued or
+    // in-flight requests (and their completion closures).
+    free_head_ = kNullSlot;
+    for (std::uint32_t i = static_cast<std::uint32_t>(slots_.size());
+         i-- > 0;)
+        freeSlot(i);
+    read_count_ = 0;
+    write_count_ = 0;
+    in_flight_ = 0;
+    undo_log_.clear();
     read_accept_cbs_.clear();
     write_accept_cbs_.clear();
     drain_cbs_.clear();
     // The caller abandons the event queue, so any pending scheduling or
-    // completion events are gone; cancel the coalescing event.
+    // completion events are gone; cancel the reusable events.
     eventq_.deschedule(schedule_event_);
+    eventq_.deschedule(wakeup_event_);
     draining_writes_ = false;
 }
 
@@ -208,26 +383,30 @@ MemDevice::totalReadBytes() const
     return static_cast<std::uint64_t>(read_bytes_.value());
 }
 
-std::size_t
-MemDevice::pickNext(std::deque<QueuedRequest>& q)
+std::uint32_t
+MemDevice::pickNext(int dir)
 {
-    constexpr std::size_t npos = static_cast<std::size_t>(-1);
-    std::size_t oldest_ready = npos;
     const Tick now = curTick();
-    for (std::size_t i = 0; i < q.size(); ++i) {
-        auto& qr = q[i];
-        if (qr.in_service)
-            continue;
-        const Bank& bank = banks_[bankOf(qr.req.addr)];
+    std::uint32_t best_hit = kNullSlot;
+    std::uint32_t best_head = kNullSlot;
+    for (Bank& bank : banks_) {
         if (bank.busy_until > now)
             continue;
-        // FR-FCFS: the first (oldest) row-buffer hit wins outright.
-        if (bank.row_valid && bank.open_row == rowOf(qr.req.addr))
-            return i;
-        if (oldest_ready == npos)
-            oldest_ready = i;
+        const BankQueue& bq = bank.q[dir];
+        if (bq.head == kNullSlot)
+            continue;
+        // FR-FCFS: the oldest row-buffer hit wins outright.
+        if (bank.row_valid && bq.hit != kNullSlot &&
+            (best_hit == kNullSlot ||
+             slots_[bq.hit].seq < slots_[best_hit].seq)) {
+            best_hit = bq.hit;
+        }
+        if (best_head == kNullSlot ||
+            slots_[bq.head].seq < slots_[best_head].seq) {
+            best_head = bq.head;
+        }
     }
-    return oldest_ready;
+    return best_hit != kNullSlot ? best_hit : best_head;
 }
 
 void
@@ -237,60 +416,70 @@ MemDevice::trySchedule()
     // manageable; writes are drained in bursts once the queue crosses
     // the high watermark (or opportunistically when no reads wait).
     const bool was_draining = draining_writes_;
-    draining_writes_ = write_q_.size() >= params_.write_drain_high ||
+    draining_writes_ = write_count_ >= params_.write_drain_high ||
                        (draining_writes_ &&
-                        write_q_.size() > params_.write_drain_low &&
-                        read_q_.empty());
+                        write_count_ > params_.write_drain_low &&
+                        read_count_ == 0);
     if (draining_writes_ && !was_draining)
         ++write_drain_entries_;
 
-    constexpr std::size_t npos = static_cast<std::size_t>(-1);
     bool progress = true;
     while (progress) {
         progress = false;
-        auto& primary = draining_writes_ ? write_q_ : read_q_;
-        auto& secondary = draining_writes_ ? read_q_ : write_q_;
-        std::size_t idx = pickNext(primary);
-        if (idx != npos) {
-            startService(primary, idx);
+        const int primary = draining_writes_ ? 1 : 0;
+        std::uint32_t idx = pickNext(primary);
+        if (idx != kNullSlot) {
+            startService(idx);
             progress = true;
             continue;
         }
-        idx = pickNext(secondary);
-        if (idx != npos) {
-            startService(secondary, idx);
+        idx = pickNext(1 - primary);
+        if (idx != kNullSlot) {
+            startService(idx);
             progress = true;
         }
     }
+    maybeScheduleWakeup();
 }
 
 void
-MemDevice::startService(std::deque<QueuedRequest>& q, std::size_t idx)
+MemDevice::startService(std::uint32_t idx)
 {
-    QueuedRequest& qr = q[idx];
-    qr.in_service = true;
+    Slot& sl = slots_[idx];
+    Bank& bank = banks_[bankOf(sl.addr)];
+    const int dir = sl.is_write ? 1 : 0;
+    BankQueue& bq = bank.q[dir];
 
-    Bank& bank = banks_[bankOf(qr.req.addr)];
-    const std::uint64_t row = rowOf(qr.req.addr);
+    const bool row_hit = bank.row_valid && bank.open_row == sl.row;
+    const std::uint32_t after = sl.next;
+    unlink(bq, idx);
+    sl.in_service = true;
 
-    const bool row_hit = bank.row_valid && bank.open_row == row;
     Tick access_latency;
     if (row_hit) {
         access_latency = params_.row_hit_latency;
         ++row_hits_;
-    } else if (bank.row_valid && bank.row_dirty) {
-        access_latency = params_.row_miss_dirty_latency;
-        ++row_misses_dirty_;
+        // This slot was the bank's oldest hit; the next-oldest can only
+        // be among its successors.
+        panic_if(bq.hit != idx, "row-hit candidate out of sync");
+        bq.hit = scanForRow(after, sl.row);
     } else {
-        access_latency = params_.row_miss_clean_latency;
-        ++row_misses_clean_;
+        if (bank.row_valid && bank.row_dirty) {
+            access_latency = params_.row_miss_dirty_latency;
+            ++row_misses_dirty_;
+        } else {
+            access_latency = params_.row_miss_clean_latency;
+            ++row_misses_clean_;
+        }
+        // Opening a new row discards the old one; the cost of writing
+        // back a dirty evicted row was paid in the access latency above.
+        // Both directions' hit candidates follow the new open row.
+        bank.open_row = sl.row;
+        bank.q[0].hit = scanForRow(bank.q[0].head, sl.row);
+        bank.q[1].hit = scanForRow(bank.q[1].head, sl.row);
     }
-
-    // Opening a new row discards the old one; the cost of writing back a
-    // dirty evicted row was paid in the access latency above.
     bank.row_valid = true;
-    bank.open_row = row;
-    bank.row_dirty = (row_hit && bank.row_dirty) || qr.req.is_write;
+    bank.row_dirty = (row_hit && bank.row_dirty) || sl.is_write;
 
     const Tick now = curTick();
     const Tick access_done = now + access_latency;
@@ -299,48 +488,51 @@ MemDevice::startService(std::deque<QueuedRequest>& q, std::size_t idx)
     bus_free_ = done;
     bank.busy_until = done;
 
-    const bool is_write = qr.req.is_write;
-    const std::uint64_t seq = qr.seq;
-    eventq_.schedule(done, [this, is_write, seq] {
-        finishService(is_write, seq);
-    });
+    ++in_flight_;
+    const std::uint64_t seq = sl.seq;
+    eventq_.schedule(done, [this, idx, seq] { finishService(idx, seq); });
 }
 
 void
-MemDevice::finishService(bool is_write, std::uint64_t seq)
+MemDevice::finishService(std::uint32_t idx, std::uint64_t seq)
 {
-    auto& q = is_write ? write_q_ : read_q_;
-    auto it = std::find_if(q.begin(), q.end(), [seq](const QueuedRequest& r) {
-        return r.seq == seq;
-    });
-    panic_if(it == q.end(), "completion for unknown request");
+    Slot& sl = slots_[idx];
+    panic_if(!sl.in_service || sl.seq != seq,
+             "completion for unknown request");
+    --in_flight_;
 
-    QueuedRequest qr = std::move(*it);
-    q.erase(it);
-
+    const bool is_write = sl.is_write;
     if (is_write) {
         ++writes_;
-        write_bytes_by_source_[static_cast<std::size_t>(qr.req.source)] +=
+        write_bytes_by_source_[static_cast<std::size_t>(sl.source)] +=
             kBlockSize;
+        // The write is durable; its pre-image must not be replayed.
+        if (sl.undo_index != kNullSlot)
+            undo_log_[sl.undo_index].slot = kNullSlot;
+        --write_count_;
     } else {
         ++reads_;
         read_bytes_ += kBlockSize;
-        // Deliver the current architectural contents.
-        store_->read(qr.req.addr, qr.req.data.data(), kBlockSize);
         read_latency_.sample(
-            static_cast<double>(curTick() - qr.enqueue_tick) /
+            static_cast<double>(curTick() - sl.enqueue_tick) /
             kNanosecond);
+        --read_count_;
     }
 
-    if (qr.req.on_complete)
-        qr.req.on_complete();
+    auto cb = std::move(sl.on_complete);
+    freeSlot(idx);
+    if (cb)
+        cb();
 
     fireAcceptCallbacks(is_write);
-    if (is_write && write_q_.empty() && !drain_cbs_.empty()) {
-        auto cbs = std::move(drain_cbs_);
-        drain_cbs_.clear();
-        for (auto& cb : cbs)
-            cb();
+    if (is_write && write_count_ == 0) {
+        undo_log_.clear();
+        if (!drain_cbs_.empty()) {
+            auto cbs = std::move(drain_cbs_);
+            drain_cbs_.clear();
+            for (auto& drain_cb : cbs)
+                drain_cb();
+        }
     }
 
     trySchedule();
@@ -358,6 +550,32 @@ MemDevice::fireAcceptCallbacks(bool is_write)
     cbs.clear();
     for (auto& cb : pending)
         cb();
+}
+
+void
+MemDevice::maybeScheduleWakeup()
+{
+    // Completions call trySchedule, so a pending completion is a
+    // wakeup; the event is only needed when requests wait while no
+    // completion is in flight (banks left busy across a quiesce()).
+    if (in_flight_ > 0 || read_count_ + write_count_ == 0)
+        return;
+    const Tick now = curTick();
+    Tick earliest = kMaxTick;
+    for (const Bank& bank : banks_) {
+        if (bank.q[0].head == kNullSlot && bank.q[1].head == kNullSlot)
+            continue;
+        if (bank.busy_until > now && bank.busy_until < earliest)
+            earliest = bank.busy_until;
+    }
+    if (earliest == kMaxTick)
+        return;
+    if (wakeup_event_.scheduled()) {
+        if (wakeup_event_.when() <= earliest)
+            return;
+        eventq_.deschedule(wakeup_event_);
+    }
+    eventq_.schedule(wakeup_event_, earliest);
 }
 
 } // namespace thynvm

@@ -8,12 +8,24 @@
  * fixed service latencies; NVM distinguishes clean and dirty row-buffer
  * misses (a dirty miss must first write the evicted row back to the cell
  * array). A shared data bus serializes block transfers.
+ *
+ * Hot-path design (DESIGN.md "Per-bank device scheduler"):
+ *  - Requests live in a fixed slab of pooled slots; queues are intrusive
+ *    doubly-linked FIFOs threaded through the slots, bucketed per bank
+ *    and direction. Nothing is copied or shifted after enqueue.
+ *  - FR-FCFS picks among at most `banks` head candidates; the oldest
+ *    row-buffer hit per bank is tracked incrementally instead of being
+ *    rediscovered by scanning the whole queue every pass.
+ *  - Completions resolve by slot index in O(1); no search, no erase.
+ *  - Undo bytes for crash rollback live in a per-device append-only
+ *    undo log (truncated whenever the write queue drains), so queued
+ *    requests carry no block-sized payloads at all.
  */
 
 #ifndef THYNVM_MEM_DEVICE_HH
 #define THYNVM_MEM_DEVICE_HH
 
-#include <deque>
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -62,9 +74,10 @@ struct DeviceParams
  *
  * Functional semantics: write data hits the backing store at *enqueue*
  * time so that producers can immediately read their own writes. For crash
- * fidelity every queued write saves undo bytes; crash() rolls back all
- * writes that the timing model had not yet serviced, leaving exactly the
- * bytes a real device would hold after power loss.
+ * fidelity every accepted write appends (addr, previous bytes) to the
+ * device's undo log; crash() replays the log backwards over all writes
+ * that the timing model had not yet serviced, leaving exactly the bytes
+ * a real device would hold after power loss.
  */
 class MemDevice : public SimObject
 {
@@ -84,10 +97,23 @@ class MemDevice : public SimObject
     bool canAccept(bool is_write) const;
 
     /**
-     * Enqueue a request. Returns false (and does nothing) if the
-     * corresponding queue is full. Write data is applied to the backing
-     * store immediately on successful enqueue.
+     * Enqueue a read. Returns false (and does nothing) if the read
+     * queue is full. @p on_complete fires when the timed service ends.
      */
+    bool enqueueRead(Addr addr, TrafficSource source,
+                     std::function<void()> on_complete = {});
+
+    /**
+     * Enqueue a write of one block. Returns false (and does nothing) if
+     * the write queue is full. @p data (kBlockSize bytes) is applied to
+     * the backing store immediately on acceptance; the queued request
+     * itself carries no payload.
+     */
+    bool enqueueWrite(Addr addr, const std::uint8_t* data,
+                      TrafficSource source,
+                      std::function<void()> on_complete = {});
+
+    /** Legacy request-struct enqueue; forwards to the zero-copy API. */
     bool enqueue(DeviceRequest req);
 
     /** Register a one-shot callback for when queue space frees up. */
@@ -121,14 +147,41 @@ class MemDevice : public SimObject
     std::uint64_t totalReadBytes() const;
 
   private:
-    struct QueuedRequest
+    /** Slot-index sentinel for "no slot" / list end. */
+    static constexpr std::uint32_t kNullSlot = 0xffffffffu;
+
+    /**
+     * One pooled request slot. Slots never move: queues are linked
+     * lists threaded through `prev`/`next`, and a completion addresses
+     * its slot directly by index.
+     */
+    struct Slot
     {
-        DeviceRequest req;
-        /** Undo bytes for crash rollback (writes only). */
-        std::array<std::uint8_t, kBlockSize> undo;
-        Tick enqueue_tick;
-        std::uint64_t seq;
+        Addr addr = 0;
+        std::uint64_t row = 0;
+        Tick enqueue_tick = 0;
+        std::uint64_t seq = 0;
+        std::function<void()> on_complete;
+        std::uint32_t prev = kNullSlot;
+        std::uint32_t next = kNullSlot;
+        /** Owning undo-log entry (writes only). */
+        std::uint32_t undo_index = kNullSlot;
+        TrafficSource source = TrafficSource::DemandRead;
+        bool is_write = false;
         bool in_service = false;
+    };
+
+    /** Waiting requests of one direction at one bank, in seq order. */
+    struct BankQueue
+    {
+        std::uint32_t head = kNullSlot;
+        std::uint32_t tail = kNullSlot;
+        /**
+         * Oldest waiting request targeting the bank's open row, or
+         * kNullSlot. Only meaningful while `row_valid`; maintained on
+         * enqueue, dequeue, and row change.
+         */
+        std::uint32_t hit = kNullSlot;
     };
 
     struct Bank
@@ -137,31 +190,75 @@ class MemDevice : public SimObject
         std::uint64_t open_row = ~0ull;
         bool row_dirty = false;
         bool row_valid = false;
+        /** Waiting requests: [0] reads, [1] writes. */
+        BankQueue q[2];
+    };
+
+    /** One saved pre-image in the append-only undo log. */
+    struct UndoEntry
+    {
+        Addr addr = 0;
+        /** Owning write slot; kNullSlot once that write is durable. */
+        std::uint32_t slot = kNullSlot;
+        std::array<std::uint8_t, kBlockSize> old_data{};
     };
 
     unsigned bankOf(Addr addr) const;
     std::uint64_t rowOf(Addr addr) const;
 
+    std::uint32_t allocSlot();
+    void freeSlot(std::uint32_t idx);
+    void linkTail(BankQueue& bq, std::uint32_t idx);
+    void unlink(BankQueue& bq, std::uint32_t idx);
+    /** Oldest slot with @p row in the chain starting at @p from. */
+    std::uint32_t scanForRow(std::uint32_t from, std::uint64_t row) const;
+    /** Drop dead entries once the undo log outgrows its watermark. */
+    void compactUndoLog();
+
     /** Try to start servicing queued requests; schedules completions. */
     void trySchedule();
-    /** Pick the next serviceable request index in @p q, or npos. */
-    std::size_t pickNext(std::deque<QueuedRequest>& q);
-    /** Begin timed service of request at index @p idx of queue @p q. */
-    void startService(std::deque<QueuedRequest>& q, std::size_t idx);
-    void finishService(bool is_write, std::uint64_t seq);
+    /**
+     * Next serviceable slot of direction @p dir (0 = read, 1 = write),
+     * or kNullSlot. FR-FCFS over at most `banks` candidates: the oldest
+     * row hit across ready banks wins outright, else the oldest ready
+     * request.
+     */
+    std::uint32_t pickNext(int dir);
+    /** Begin timed service of the request in slot @p idx. */
+    void startService(std::uint32_t idx);
+    void finishService(std::uint32_t idx, std::uint64_t seq);
     void fireAcceptCallbacks(bool is_write);
+    /**
+     * Arm the bank-ready wakeup: when requests wait but no completion
+     * is pending (possible after quiesce() left banks busy), schedule
+     * a scheduling pass at the earliest busy_until instead of stalling
+     * forever.
+     */
+    void maybeScheduleWakeup();
 
     DeviceParams params_;
     std::shared_ptr<BackingStore> store_;
     std::vector<Bank> banks_;
     Tick bus_free_ = 0;
 
-    std::deque<QueuedRequest> read_q_;
-    std::deque<QueuedRequest> write_q_;
+    /** Pooled slots; read_queue_capacity + write_queue_capacity. */
+    std::vector<Slot> slots_;
+    /** Free-slot stack threaded through Slot::next. */
+    std::uint32_t free_head_ = kNullSlot;
+    /** Queued requests per direction, in-service included. */
+    unsigned read_count_ = 0;
+    unsigned write_count_ = 0;
+    /** Requests in timed service (completion event pending). */
+    unsigned in_flight_ = 0;
+
+    std::vector<UndoEntry> undo_log_;
+
     bool draining_writes_ = false;
     std::uint64_t next_seq_ = 0;
     /** Coalesces a same-tick burst of enqueues into one scheduling pass. */
     Event schedule_event_;
+    /** Bank-ready wakeup when no completion will drive scheduling. */
+    Event wakeup_event_;
 
     std::vector<std::function<void()>> read_accept_cbs_;
     std::vector<std::function<void()>> write_accept_cbs_;

@@ -2,13 +2,18 @@
  * @file
  * A staging port in front of a MemDevice.
  *
- * Controllers can always send() into a port; the port issues requests to
+ * Controllers can always send into a port; the port issues requests to
  * the device as queue space frees up, providing backpressure through
  * acceptance callbacks instead of rejections. Reads and writes are staged
  * in separate FIFOs so demand reads are not head-of-line blocked behind
  * checkpoint write bursts; this is safe because data is resolved
  * *functionally* at send time (see MemController::access contract) and
  * device-level requests model timing and durability only.
+ *
+ * Staged reads carry no payload at all; staged writes hold the one block
+ * of write data until the device accepts it (at which point the data is
+ * applied to the backing store and the port's copy dies). A per-address
+ * index keeps functionalRead O(1) over the unbounded write FIFO.
  *
  * Durability ordering across writes (e.g., checkpoint data before the
  * commit record) is enforced at the protocol level by waiting on
@@ -45,25 +50,58 @@ class DevicePort
     const MemDevice& device() const { return dev_; }
 
     /**
-     * Stage a request for issue to the device.
-     * @param req the request; its on_complete fires at service end.
+     * Stage a read for issue to the device.
+     * @param on_complete fires when the timed service ends.
      * @param on_accept fires when the device accepts the request into
-     *        its queue (useful as a posted-write acknowledgment).
+     *        its queue.
      */
+    void
+    sendRead(Addr addr, TrafficSource source,
+             std::function<void()> on_complete = {},
+             std::function<void()> on_accept = {})
+    {
+        read_fifo_.push_back(ReadItem{addr, source, std::move(on_complete),
+                                      std::move(on_accept)});
+        tryIssueReads();
+    }
+
+    /**
+     * Stage a write of one block (@p data, kBlockSize bytes; copied).
+     * @param on_complete fires when the timed service ends.
+     * @param on_accept fires when the device accepts the request (useful
+     *        as a posted-write acknowledgment).
+     */
+    void
+    sendWrite(Addr addr, const std::uint8_t* data, TrafficSource source,
+              std::function<void()> on_complete = {},
+              std::function<void()> on_accept = {})
+    {
+        write_fifo_.emplace_back();
+        WriteItem& item = write_fifo_.back();
+        item.addr = addr;
+        item.source = source;
+        item.on_complete = std::move(on_complete);
+        item.on_accept = std::move(on_accept);
+        std::memcpy(item.data.data(), data, kBlockSize);
+        // Deque references stay valid across push_back/pop_front, so
+        // the index can point straight at the staged payload.
+        StagedWrite& sw = staged_writes_[addr];
+        ++sw.count;
+        sw.newest = item.data.data();
+        tryIssueWrites();
+    }
+
+    /** Legacy request-struct interface; forwards to sendRead/sendWrite. */
     void
     send(DeviceRequest req, std::function<void()> on_accept = {})
     {
-        const bool is_write = req.is_write;
-        auto& fifo = is_write ? write_fifo_ : read_fifo_;
-        fifo.push_back(Item{std::move(req), std::move(on_accept)});
-        if (is_write) {
-            // Deque references stay valid across push_back/pop_front,
-            // so the index can point straight at the staged request.
-            StagedWrite& sw = staged_writes_[fifo.back().req.addr];
-            ++sw.count;
-            sw.newest = &fifo.back().req;
+        if (req.is_write) {
+            sendWrite(req.addr, req.data.data(), req.source,
+                      std::move(req.on_complete), std::move(on_accept));
+        } else {
+            sendRead(req.addr, req.source, std::move(req.on_complete),
+                     std::move(on_accept));
         }
-        tryIssue(is_write);
     }
 
     /**
@@ -78,7 +116,7 @@ class DevicePort
                  "port functional read must target a single block");
         auto it = staged_writes_.find(addr);
         if (it != staged_writes_.end()) {
-            std::memcpy(buf, it->second.newest->data.data(), len);
+            std::memcpy(buf, it->second.newest, len);
             return;
         }
         dev_.store().read(addr, buf, len);
@@ -115,10 +153,8 @@ class DevicePort
     void
     quiesce()
     {
-        for (auto& item : write_fifo_) {
-            dev_.store().write(item.req.addr, item.req.data.data(),
-                               kBlockSize);
-        }
+        for (auto& item : write_fifo_)
+            dev_.store().write(item.addr, item.data.data(), kBlockSize);
         crash();
     }
 
@@ -136,47 +172,78 @@ class DevicePort
     }
 
   private:
-    struct Item
+    struct ReadItem
     {
-        DeviceRequest req;
+        Addr addr = 0;
+        TrafficSource source = TrafficSource::DemandRead;
+        std::function<void()> on_complete;
         std::function<void()> on_accept;
     };
 
-    void
-    tryIssue(bool is_write)
+    struct WriteItem
     {
-        auto& fifo = is_write ? write_fifo_ : read_fifo_;
-        bool& blocked = is_write ? write_blocked_ : read_blocked_;
-        if (blocked)
+        Addr addr = 0;
+        TrafficSource source = TrafficSource::DemandRead;
+        std::function<void()> on_complete;
+        std::function<void()> on_accept;
+        std::array<std::uint8_t, kBlockSize> data{};
+    };
+
+    void
+    tryIssueReads()
+    {
+        if (read_blocked_)
             return;
-        while (!fifo.empty()) {
-            if (!dev_.canAccept(is_write)) {
-                blocked = true;
-                dev_.notifyWhenAccepting(is_write, [this, is_write] {
-                    bool& b = is_write ? write_blocked_ : read_blocked_;
-                    b = false;
-                    tryIssue(is_write);
+        while (!read_fifo_.empty()) {
+            if (!dev_.canAccept(false)) {
+                read_blocked_ = true;
+                dev_.notifyWhenAccepting(false, [this] {
+                    read_blocked_ = false;
+                    tryIssueReads();
                 });
                 return;
             }
-            Item item = std::move(fifo.front());
-            fifo.pop_front();
-            if (is_write) {
-                auto it = staged_writes_.find(item.req.addr);
-                panic_if(it == staged_writes_.end(),
-                         "staged write missing from index");
-                // The FIFO pops oldest-first, so the newest staged write
-                // for this address only leaves when it is the last one.
-                if (--it->second.count == 0)
-                    staged_writes_.erase(it);
-            }
-            bool ok = dev_.enqueue(std::move(item.req));
+            ReadItem item = std::move(read_fifo_.front());
+            read_fifo_.pop_front();
+            bool ok = dev_.enqueueRead(item.addr, item.source,
+                                       std::move(item.on_complete));
             panic_if(!ok, "device rejected request after canAccept");
             if (item.on_accept)
                 item.on_accept();
         }
-        if (is_write)
-            checkDrainWaiters();
+    }
+
+    void
+    tryIssueWrites()
+    {
+        if (write_blocked_)
+            return;
+        while (!write_fifo_.empty()) {
+            if (!dev_.canAccept(true)) {
+                write_blocked_ = true;
+                dev_.notifyWhenAccepting(true, [this] {
+                    write_blocked_ = false;
+                    tryIssueWrites();
+                });
+                return;
+            }
+            WriteItem item = std::move(write_fifo_.front());
+            write_fifo_.pop_front();
+            auto it = staged_writes_.find(item.addr);
+            panic_if(it == staged_writes_.end(),
+                     "staged write missing from index");
+            // The FIFO pops oldest-first, so the newest staged write
+            // for this address only leaves when it is the last one.
+            if (--it->second.count == 0)
+                staged_writes_.erase(it);
+            bool ok = dev_.enqueueWrite(item.addr, item.data.data(),
+                                        item.source,
+                                        std::move(item.on_complete));
+            panic_if(!ok, "device rejected request after canAccept");
+            if (item.on_accept)
+                item.on_accept();
+        }
+        checkDrainWaiters();
     }
 
     void
@@ -185,7 +252,7 @@ class DevicePort
         if (drain_waiters_.empty() || drain_check_armed_)
             return;
         if (!write_fifo_.empty())
-            return; // tryIssue(write) will re-check once staged
+            return; // tryIssueWrites() will re-check once staged
         drain_check_armed_ = true;
         dev_.notifyWhenWritesDrained([this] {
             drain_check_armed_ = false;
@@ -201,17 +268,17 @@ class DevicePort
     }
 
     /** Per-address view of the staged writes: how many are in the FIFO
-     *  and where the newest one's data lives. Keeps functionalRead O(1)
-     *  instead of scanning the (unbounded) write FIFO. */
+     *  and where the newest one's payload lives. Keeps functionalRead
+     *  O(1) instead of scanning the (unbounded) write FIFO. */
     struct StagedWrite
     {
         std::size_t count = 0;
-        const DeviceRequest* newest = nullptr;
+        const std::uint8_t* newest = nullptr;
     };
 
     MemDevice& dev_;
-    std::deque<Item> read_fifo_;
-    std::deque<Item> write_fifo_;
+    std::deque<ReadItem> read_fifo_;
+    std::deque<WriteItem> write_fifo_;
     std::unordered_map<Addr, StagedWrite> staged_writes_;
     std::vector<std::function<void()>> drain_waiters_;
     bool read_blocked_ = false;
