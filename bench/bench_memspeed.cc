@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Memory-datapath throughput tracker: how many demand accesses per host
+ * second does the full system (CPU + 3-level hierarchy + controller)
+ * sustain?
+ *
+ * Two cells, both on the paper's ThyNVM configuration:
+ *  - resident: Random 1 KB ops over a 16 KB array. After warmup every
+ *    64-byte piece hits L1, so the cell isolates the per-piece cost of
+ *    the demand datapath itself (the synchronous fast path's target).
+ *  - thrash: the fig7 Random cell (64 B ops over 24 MB, far beyond L3),
+ *    miss-dominated; guards against the fast path taxing the slow path.
+ *
+ * The pre-change numbers (event-per-piece datapath, measured on the
+ * commit that introduced this benchmark) are embedded as the baseline so
+ * the speedup is tracked release to release. Results are written to
+ * BENCH_memspeed.json. Setting THYNVM_NO_FAST_PATH=1 forces the event
+ * path and should reproduce roughly baseline throughput on this host
+ * class. Single-threaded by design; THYNVM_BENCH_THREADS is ignored.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace thynvm;
+using namespace thynvm::bench;
+
+/**
+ * Pre-change baselines: accesses per host second measured at the commit
+ * preceding the synchronous fast path, same cells, Release build.
+ */
+constexpr double kBaselineResidentAps = 765430.0;
+constexpr double kBaselineThrashAps = 313913.0;
+
+struct Cell
+{
+    const char* label;
+    std::size_t array_bytes;
+    std::uint32_t access_size;
+    std::uint64_t accesses;
+    double baseline_aps;
+};
+
+struct MemResult
+{
+    std::string label;
+    std::uint64_t accesses = 0;
+    std::uint64_t events = 0;
+    double host_seconds = 0.0;
+    double sim_ms = 0.0;
+    double accesses_per_sec = 0.0;
+    double baseline_aps = 0.0;
+    double speedup = 0.0;
+};
+
+MemResult
+measure(const Cell& cell)
+{
+    using Clock = std::chrono::steady_clock;
+
+    const SystemConfig cfg = paperSystem(SystemKind::ThyNvm);
+    MicroWorkload::Params mp;
+    mp.pattern = MicroWorkload::Pattern::Random;
+    mp.base = 0;
+    mp.array_bytes = cell.array_bytes;
+    mp.access_size = cell.access_size;
+    mp.read_fraction = 0.5;
+    mp.total_accesses = cell.accesses;
+    mp.seed = 1;
+    MicroWorkload wl(mp);
+    System sys(cfg, wl);
+
+    const auto t0 = Clock::now();
+    sys.start();
+    sys.run(60 * kSecond);
+    const double host =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    fatal_if(!sys.finished(), "memspeed run did not complete");
+
+    MemResult r;
+    r.label = cell.label;
+    r.accesses = cell.accesses;
+    r.events = sys.eventq().eventsExecuted();
+    r.host_seconds = host;
+    r.sim_ms = static_cast<double>(sys.metrics().exec_time) /
+               static_cast<double>(kMillisecond);
+    r.accesses_per_sec =
+        host > 0.0 ? static_cast<double>(cell.accesses) / host : 0.0;
+    r.baseline_aps = cell.baseline_aps;
+    r.speedup = cell.baseline_aps > 0.0
+                    ? r.accesses_per_sec / cell.baseline_aps
+                    : 0.0;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<Cell> cells = {
+        {"resident/ThyNVM", 16u << 10, 1024, 500000, kBaselineResidentAps},
+        {"thrash/ThyNVM", 24u << 20, 64, 150000, kBaselineThrashAps},
+    };
+
+    heading("Memory datapath speed: demand accesses per host second");
+    std::printf("%-20s %10s %10s %12s %14s %8s\n", "cell", "accesses",
+                "host_s", "accesses/s", "baseline", "speedup");
+
+    std::vector<MemResult> results;
+    for (const Cell& cell : cells) {
+        MemResult r = measure(cell);
+        std::printf("%-20s %10llu %10.2f %12.0f %14.0f %7.2fx\n",
+                    r.label.c_str(),
+                    static_cast<unsigned long long>(r.accesses),
+                    r.host_seconds, r.accesses_per_sec, r.baseline_aps,
+                    r.speedup);
+        results.push_back(std::move(r));
+    }
+
+    FILE* f = std::fopen("BENCH_memspeed.json", "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write BENCH_memspeed.json\n");
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"benchmark\": \"memspeed\",\n");
+    std::fprintf(f, "  \"workload\": \"micro_random\",\n");
+    std::fprintf(f, "  \"threads\": 1,\n");
+    std::fprintf(f, "  \"cells\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const MemResult& r = results[i];
+        std::fprintf(f,
+                     "    {\"label\": \"%s\", \"accesses\": %llu, "
+                     "\"events\": %llu, \"host_seconds\": %.3f, "
+                     "\"sim_ms\": %.3f, \"accesses_per_sec\": %.0f, "
+                     "\"baseline_accesses_per_sec\": %.0f, "
+                     "\"speedup\": %.2f}%s\n",
+                     r.label.c_str(),
+                     static_cast<unsigned long long>(r.accesses),
+                     static_cast<unsigned long long>(r.events),
+                     r.host_seconds, r.sim_ms, r.accesses_per_sec,
+                     r.baseline_aps, r.speedup,
+                     i + 1 == results.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_memspeed.json\n");
+    return 0;
+}

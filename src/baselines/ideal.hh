@@ -65,6 +65,18 @@ class IdealController : public MemController
         }
     }
 
+    /**
+     * Never fast: even the ideal controller models device timing, so
+     * every access enqueues into the device's bank queues and the
+     * enqueue tick is timing-visible.
+     */
+    Tick
+    tryAccessFast(Addr, bool, const std::uint8_t*, std::uint8_t*,
+                  TrafficSource) final
+    {
+        return kNoFastPath;
+    }
+
     void
     functionalRead(Addr paddr, void* buf, std::size_t len) const override
     {

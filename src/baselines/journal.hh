@@ -58,6 +58,19 @@ class JournalController : public EpochController
     void accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
                      std::uint8_t* rdata, TrafficSource source,
                      std::function<void()> done) override;
+
+    /**
+     * Never fast: reads hit NVM home or the DRAM journal buffer and
+     * writes journal into DRAM, all as timed device-queue traffic; a
+     * boundary may also stall the access entirely.
+     */
+    Tick
+    tryAccessFast(Addr, bool, const std::uint8_t*, std::uint8_t*,
+                  TrafficSource) final
+    {
+        return kNoFastPath;
+    }
+
     void functionalRead(Addr paddr, void* buf,
                         std::size_t len) const override;
     void loadImage(Addr paddr, const void* buf, std::size_t len) override;

@@ -50,6 +50,19 @@ class ShadowController : public EpochController
     void accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
                      std::uint8_t* rdata, TrafficSource source,
                      std::function<void()> done) override;
+
+    /**
+     * Never fast: every access may trigger a copy-on-write page fetch
+     * into the DRAM buffer and always travels the device ports, so the
+     * issue tick is timing-visible.
+     */
+    Tick
+    tryAccessFast(Addr, bool, const std::uint8_t*, std::uint8_t*,
+                  TrafficSource) final
+    {
+        return kNoFastPath;
+    }
+
     void functionalRead(Addr paddr, void* buf,
                         std::size_t len) const override;
     void loadImage(Addr paddr, const void* buf, std::size_t len) override;

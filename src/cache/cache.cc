@@ -70,6 +70,22 @@ Cache::victimFor(Addr paddr)
 }
 
 void
+Cache::applyAccess(Line& line, bool is_write, const std::uint8_t* wdata,
+                   std::uint8_t* rdata)
+{
+    line.lru = ++lru_clock_;
+    if (is_write) {
+        std::memcpy(line.data.data(), wdata, kBlockSize);
+        if (!line.dirty) {
+            line.dirty = true;
+            ++dirty_lines_;
+        }
+    } else {
+        std::memcpy(rdata, line.data.data(), kBlockSize);
+    }
+}
+
+void
 Cache::accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
                    std::uint8_t* rdata, TrafficSource source,
                    std::function<void()> done)
@@ -79,16 +95,7 @@ Cache::accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
     Line* line = lookup(paddr);
     if (line != nullptr) {
         ++hits_;
-        line->lru = ++lru_clock_;
-        if (is_write) {
-            std::memcpy(line->data.data(), wdata, kBlockSize);
-            if (!line->dirty) {
-                line->dirty = true;
-                ++dirty_lines_;
-            }
-        } else {
-            std::memcpy(rdata, line->data.data(), kBlockSize);
-        }
+        applyAccess(*line, is_write, wdata, rdata);
         if (done)
             eventq_.scheduleIn(params_.hit_latency, std::move(done));
         return;
@@ -131,9 +138,56 @@ Cache::accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
     }
 }
 
+Tick
+Cache::tryAccessFast(Addr paddr, bool is_write, const std::uint8_t* wdata,
+                     std::uint8_t* rdata, TrafficSource source)
+{
+    panic_if(paddr % kBlockSize != 0, "unaligned cache access");
+
+    Line* line = lookup(paddr);
+    if (line != nullptr) {
+        ++hits_;
+        applyAccess(*line, is_write, wdata, rdata);
+        return params_.hit_latency;
+    }
+
+    // A miss stays fast only when it is pure cache-to-cache traffic: a
+    // clean (or invalid) victim and a fill that resolves fast below. The
+    // victim is probed *before* any mutation, and the fill target is the
+    // victim line itself, which a refusing level leaves untouched — so
+    // bailing out here is free of side effects and the caller can replay
+    // the access on the event path.
+    Line& victim = victimFor(paddr);
+    if (victim.valid && victim.dirty)
+        return kNoFastPath;
+    const Tick fill_latency = next_.tryAccessFast(
+        paddr, false, nullptr, victim.data.data(), source);
+    if (fill_latency == kNoFastPath)
+        return kNoFastPath;
+
+    ++misses_;
+    victim.valid = true;
+    victim.tag = paddr;
+    victim.dirty = false;
+    victim.lru = ++lru_clock_;
+    if (is_write) {
+        std::memcpy(victim.data.data(), wdata, kBlockSize);
+        victim.dirty = true;
+        ++dirty_lines_;
+    } else {
+        std::memcpy(rdata, victim.data.data(), kBlockSize);
+    }
+    // Same charge as the event path: the fill completes below, then this
+    // level's own access time elapses before the requester continues.
+    return fill_latency + params_.hit_latency;
+}
+
 void
 Cache::flushDirty(std::function<void()> done)
 {
+    panic_if(flush_outstanding_ != 0 || flush_done_,
+             "overlapping cache flushes");
+
     // Checkpoint flushes on an already-clean cache are common in
     // page-dominated phases; skip the line scan entirely.
     if (dirty_lines_ == 0) {
@@ -143,21 +197,10 @@ Cache::flushDirty(std::function<void()> done)
     }
 
     // Issue a clean-without-invalidate writeback for every dirty block.
-    // All writebacks are issued in one pass; a shared counter fires the
-    // continuation once the next level has acknowledged each of them.
-    auto outstanding = std::make_shared<std::size_t>(0);
-    auto all_issued = std::make_shared<bool>(false);
-    auto fire = std::make_shared<std::function<void()>>(std::move(done));
-
-    auto on_ack = [outstanding, all_issued, fire] {
-        panic_if(*outstanding == 0, "flush ack underflow");
-        --*outstanding;
-        if (*all_issued && *outstanding == 0 && *fire) {
-            auto cb = std::move(*fire);
-            *fire = nullptr;
-            cb();
-        }
-    };
+    // All writebacks are issued in one pass; the member counter fires
+    // the continuation once the next level has acknowledged each.
+    flush_done_ = std::move(done);
+    flush_all_issued_ = false;
 
     for (auto& line : lines_) {
         if (!line.valid || !line.dirty)
@@ -165,18 +208,31 @@ Cache::flushDirty(std::function<void()> done)
         line.dirty = false;
         --dirty_lines_;
         ++flush_writebacks_;
-        ++*outstanding;
+        ++flush_outstanding_;
         next_.accessBlock(line.tag, true, line.data.data(), nullptr,
-                          TrafficSource::CpuWriteback, on_ack);
+                          TrafficSource::CpuWriteback,
+                          [this] { flushAck(); });
         if (dirty_lines_ == 0)
             break;
     }
 
-    *all_issued = true;
-    if (*outstanding == 0 && *fire) {
-        auto cb = std::move(*fire);
-        *fire = nullptr;
+    flush_all_issued_ = true;
+    if (flush_outstanding_ == 0 && flush_done_) {
+        auto cb = std::move(flush_done_);
+        flush_done_ = nullptr;
         eventq_.scheduleIn(0, std::move(cb));
+    }
+}
+
+void
+Cache::flushAck()
+{
+    panic_if(flush_outstanding_ == 0, "flush ack underflow");
+    --flush_outstanding_;
+    if (flush_all_issued_ && flush_outstanding_ == 0 && flush_done_) {
+        auto cb = std::move(flush_done_);
+        flush_done_ = nullptr;
+        cb();
     }
 }
 
@@ -188,6 +244,12 @@ Cache::invalidateAll()
         line.dirty = false;
     }
     dirty_lines_ = 0;
+    // Power loss also abandons any in-flight flush: the acknowledgment
+    // events died with the queue, so the fan-in state must not survive
+    // into the next life of this cache.
+    flush_outstanding_ = 0;
+    flush_all_issued_ = false;
+    flush_done_ = nullptr;
 }
 
 } // namespace thynvm

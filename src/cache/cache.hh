@@ -53,6 +53,15 @@ class Cache : public SimObject, public BlockAccessor
                      std::uint8_t* rdata, TrafficSource source,
                      std::function<void()> done) override;
 
+    /**
+     * Synchronous fast path (see BlockAccessor): answers on a hit, or on
+     * a miss whose victim is clean and whose fill resolves fast in the
+     * level below. Dirty-victim misses refuse — the writeback must be
+     * staged as timed device traffic on the event path.
+     */
+    Tick tryAccessFast(Addr paddr, bool is_write, const std::uint8_t* wdata,
+                       std::uint8_t* rdata, TrafficSource source) override;
+
     /** Functional read observing this level's lines first. */
     void
     functionalReadBlock(Addr paddr, std::uint8_t* buf) override
@@ -94,6 +103,11 @@ class Cache : public SimObject, public BlockAccessor
     Line* lookup(Addr paddr);
     /** Choose a victim line in the set containing @p paddr. */
     Line& victimFor(Addr paddr);
+    /** Apply a hit access to @p line (LRU bump, data copy, dirty). */
+    void applyAccess(Line& line, bool is_write, const std::uint8_t* wdata,
+                     std::uint8_t* rdata);
+    /** One flush writeback acknowledged by the next level. */
+    void flushAck();
 
     Params params_;
     BlockAccessor& next_;
@@ -103,6 +117,11 @@ class Cache : public SimObject, public BlockAccessor
     /** Running count of valid dirty lines; keeps flushes on clean
      *  caches and dirtyBlockCount() O(1). */
     std::size_t dirty_lines_ = 0;
+
+    /** In-flight flushDirty() fan-in; at most one flush runs at a time. */
+    std::size_t flush_outstanding_ = 0;
+    bool flush_all_issued_ = false;
+    std::function<void()> flush_done_;
 
     stats::Scalar hits_;
     stats::Scalar misses_;

@@ -209,9 +209,12 @@ class TranslationTable
     void
     clear()
     {
+        // Free entries are already EntryT{} (release() and the
+        // allocators reset them), so only live entries need clearing —
+        // O(live) instead of O(capacity).
+        for (const auto& [paddr, idx] : map_)
+            entries_[idx] = EntryT{};
         map_.clear();
-        for (auto& e : entries_)
-            e = EntryT{};
         resetFreeList();
     }
 

@@ -53,6 +53,8 @@ ThyNvmController::ThyNvmController(EventQueue& eq, std::string name,
     overflow_dirty_[0].assign(cfg_.overflow_entries, 0);
     overflow_dirty_[1].assign(cfg_.overflow_entries, 0);
     overflow_in_last_log_.assign(cfg_.overflow_entries, 0);
+    resetImage(btt_image_, btt_.capacity());
+    resetImage(ptt_image_, ptt_.capacity());
 
     stats().addScalar("loads", &loads_, "block loads serviced");
     stats().addScalar("stores", &stores_, "block stores serviced");
@@ -882,19 +884,60 @@ ThyNvmController::reclaimIdleBttEntries()
         }
     });
     for (std::size_t bidx : release_now)
-        btt_.release(bidx);
+        releaseBtt(bidx);
+}
+
+namespace {
+
+/** Write @p rec into slot @p idx of a serialized table image. */
+inline void
+writeRec(std::vector<std::uint8_t>& image, std::size_t idx,
+         const SerializedEntry& rec)
+{
+    std::memcpy(image.data() + idx * sizeof(rec), &rec, sizeof(rec));
+}
+
+} // namespace
+
+void
+ThyNvmController::resetImage(std::vector<std::uint8_t>& image,
+                             std::size_t capacity)
+{
+    image.assign(capacity * AddressLayout::kEntryBytes, 0);
+    SerializedEntry rec{};
+    rec.tag = kInvalidAddr;
+    for (std::size_t i = 0; i < capacity; ++i)
+        writeRec(image, i, rec);
 }
 
 void
-ThyNvmController::serializeBtt(std::vector<std::uint8_t>& out) const
+ThyNvmController::releaseBtt(std::size_t idx)
 {
-    out.assign(btt_.capacity() * AddressLayout::kEntryBytes, 0);
-    for (std::size_t i = 0; i < btt_.capacity(); ++i) {
-        const BttEntry& e = btt_.at(i);
-        SerializedEntry rec{};
-        rec.tag = kInvalidAddr;
-        if (e.block_paddr != kInvalidAddr && !e.overlay &&
-            !e.free_at_commit && !e.migrating_home) {
+    btt_.release(idx);
+    btt_released_.push_back(idx);
+}
+
+void
+ThyNvmController::releasePtt(std::size_t idx)
+{
+    ptt_.release(idx);
+    ptt_released_.push_back(idx);
+}
+
+const std::vector<std::uint8_t>&
+ThyNvmController::bttImage()
+{
+    SerializedEntry invalid{};
+    invalid.tag = kInvalidAddr;
+    // Released slots first: a slot freed and reallocated since the last
+    // image update is in both lists, and the live record must win.
+    for (std::size_t idx : btt_released_)
+        writeRec(btt_image_, idx, invalid);
+    btt_released_.clear();
+
+    btt_.forEachLive([this, &invalid](std::size_t i, BttEntry& e) {
+        SerializedEntry rec = invalid;
+        if (!e.overlay && !e.free_at_commit && !e.migrating_home) {
             bool skip = false;
             if (e.absorbed) {
                 // Skip iff the owning page commits in this checkpoint;
@@ -912,26 +955,30 @@ ThyNvmController::serializeBtt(std::vector<std::uint8_t>& out) const
                     e.pending ? e.pending_slot : e.committed);
             }
         }
-        std::memcpy(out.data() + i * sizeof(rec), &rec, sizeof(rec));
-    }
+        writeRec(btt_image_, i, rec);
+    });
+    return btt_image_;
 }
 
-void
-ThyNvmController::serializePtt(std::vector<std::uint8_t>& out) const
+const std::vector<std::uint8_t>&
+ThyNvmController::pttImage()
 {
-    out.assign(ptt_.capacity() * AddressLayout::kEntryBytes, 0);
-    for (std::size_t i = 0; i < ptt_.capacity(); ++i) {
-        const PttEntry& e = ptt_.at(i);
-        SerializedEntry rec{};
-        rec.tag = kInvalidAddr;
-        if (e.page_paddr != kInvalidAddr && !e.demoting &&
-            (e.pending || e.ever_committed)) {
+    SerializedEntry invalid{};
+    invalid.tag = kInvalidAddr;
+    for (std::size_t idx : ptt_released_)
+        writeRec(ptt_image_, idx, invalid);
+    ptt_released_.clear();
+
+    ptt_.forEachLive([this, &invalid](std::size_t i, PttEntry& e) {
+        SerializedEntry rec = invalid;
+        if (!e.demoting && (e.pending || e.ever_committed)) {
             rec.tag = e.page_paddr;
             rec.region = static_cast<std::uint8_t>(
                 e.pending ? e.pending_slot : e.committed);
         }
-        std::memcpy(out.data() + i * sizeof(rec), &rec, sizeof(rec));
-    }
+        writeRec(ptt_image_, i, rec);
+    });
+    return ptt_image_;
 }
 
 void
@@ -952,11 +999,9 @@ ThyNvmController::stageMetadataWrite(Addr nvm_addr,
 void
 ThyNvmController::persistBtt()
 {
-    std::vector<std::uint8_t> image;
-    serializeBtt(image);
     stageMetadataWrite(layout_.backupSlot(backup_toggle_) +
                            layout_.bttAreaOffset(),
-                       image);
+                       bttImage());
 }
 
 void
@@ -1069,7 +1114,7 @@ ThyNvmController::mergeOverlays(std::size_t pidx, Addr page_paddr)
                 be.wactive = WactiveLoc::None;
                 be.overlay = false;
                 if (!be.absorbed)
-                    btt_.release(bidx);
+                    releaseBtt(bidx);
             }
         }
 
@@ -1123,10 +1168,8 @@ ThyNvmController::stageDemotionCopies()
 void
 ThyNvmController::persistPttAndCpu()
 {
-    std::vector<std::uint8_t> image;
-    serializePtt(image);
     const Addr slot = layout_.backupSlot(backup_toggle_);
-    stageMetadataWrite(slot + layout_.pttAreaOffset(), image);
+    stageMetadataWrite(slot + layout_.pttAreaOffset(), pttImage());
 
     // CPU architectural state: [u64 length][blob].
     std::vector<std::uint8_t> cpu(8 + cpu_state_.size());
@@ -1174,7 +1217,7 @@ ThyNvmController::commitCheckpoint()
             btt_release.push_back(bidx);
     });
     for (std::size_t bidx : btt_release)
-        btt_.release(bidx);
+        releaseBtt(bidx);
 
     // Flip page versions; finalize demotions and absorbed entries.
     std::vector<std::size_t> ptt_release;
@@ -1189,7 +1232,7 @@ ThyNvmController::commitCheckpoint()
                 // Any diverted store must have been merged back when
                 // the page's writeback completed, before this commit.
                 panic_if(be.overlay, "unmerged overlay at commit");
-                btt_.release(bidx);
+                releaseBtt(bidx);
             }
             e.absorbed_btt.clear();
         }
@@ -1215,7 +1258,7 @@ ThyNvmController::commitCheckpoint()
             panic_if(be.wactive != WactiveLoc::DramBuf,
                      "overlay without buffered data");
         }
-        ptt_.release(pidx);
+        releasePtt(pidx);
     }
 
     ++epochs_;
@@ -1252,6 +1295,10 @@ ThyNvmController::crash()
 
     btt_.clear();
     ptt_.clear();
+    resetImage(btt_image_, btt_.capacity());
+    resetImage(ptt_image_, ptt_.capacity());
+    btt_released_.clear();
+    ptt_released_.clear();
     overflow_map_.clear();
     overflow_free_.clear();
     for (std::size_t i = cfg_.overflow_entries; i-- > 0;)

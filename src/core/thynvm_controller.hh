@@ -64,6 +64,19 @@ class ThyNvmController : public MemController
     void accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
                      std::uint8_t* rdata, TrafficSource source,
                      std::function<void()> done) override;
+
+    /**
+     * Never fast: loads read the visible copy through a device port and
+     * stores mutate BTT/PTT state and stage timed NVM/DRAM traffic (or
+     * stall on table overflow) — the issue tick is always
+     * timing-visible.
+     */
+    Tick
+    tryAccessFast(Addr, bool, const std::uint8_t*, std::uint8_t*,
+                  TrafficSource) final
+    {
+        return kNoFastPath;
+    }
     void functionalRead(Addr paddr, void* buf,
                         std::size_t len) const override;
     void loadImage(Addr paddr, const void* buf, std::size_t len) override;
@@ -196,9 +209,23 @@ class ThyNvmController : public MemController
     /** Merge overlay entries of @p page_paddr back into the DRAM page. */
     void mergeOverlays(std::size_t pidx, Addr page_paddr);
 
-    /** Serialize a full table image (fixed size, free entries included). */
-    void serializeBtt(std::vector<std::uint8_t>& out) const;
-    void serializePtt(std::vector<std::uint8_t>& out) const;
+    /**
+     * Bring the persistent full-capacity table images up to date and
+     * return them. Slots released since the last call are re-invalidated
+     * and every live entry's record is recomputed (a record can change
+     * without its entry changing — an absorbed block's record depends on
+     * the owning page's state), so each call costs O(live + released)
+     * instead of O(capacity). The returned image is byte-identical to a
+     * full serialization.
+     */
+    const std::vector<std::uint8_t>& bttImage();
+    const std::vector<std::uint8_t>& pttImage();
+    /** Reset @p image to all-invalid records for @p capacity slots. */
+    static void resetImage(std::vector<std::uint8_t>& image,
+                           std::size_t capacity);
+    /** Release a table entry, recording the slot for re-invalidation. */
+    void releaseBtt(std::size_t idx);
+    void releasePtt(std::size_t idx);
     /** Stage @p bytes as block writes at @p nvm_addr (Checkpoint). */
     void stageMetadataWrite(Addr nvm_addr,
                             const std::vector<std::uint8_t>& bytes);
@@ -224,6 +251,13 @@ class ThyNvmController : public MemController
     DevicePort nvm_port_;
     Btt btt_;
     Ptt ptt_;
+
+    /** Persistent serialized table images (see bttImage()/pttImage()). */
+    std::vector<std::uint8_t> btt_image_;
+    std::vector<std::uint8_t> ptt_image_;
+    /** Slots released since the image was last brought up to date. */
+    std::vector<std::size_t> btt_released_;
+    std::vector<std::size_t> ptt_released_;
 
     /** Per-epoch BTT-path store counts aggregated by page. */
     std::unordered_map<Addr, std::uint32_t> page_store_agg_;

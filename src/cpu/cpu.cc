@@ -5,11 +5,23 @@
 
 #include "cpu/cpu.hh"
 
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.hh"
 
 namespace thynvm {
+
+namespace {
+
+bool
+fastPathDisabledByEnv()
+{
+    const char* v = std::getenv("THYNVM_NO_FAST_PATH");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+} // namespace
 
 TraceCpu::TraceCpu(EventQueue& eq, std::string name, const Params& params,
                    BlockAccessor& mem, Workload& workload)
@@ -18,9 +30,11 @@ TraceCpu::TraceCpu(EventQueue& eq, std::string name, const Params& params,
       mem_(mem),
       workload_(workload),
       step_event_([this] { step(); }),
-      op_complete_event_([this] { opComplete(); })
+      op_complete_event_([this] { opComplete(); }),
+      piece_event_([this] { issueNextPiece(); })
 {
     op_buf_.resize(params_.max_op_bytes);
+    fast_path_enabled_ = params_.use_fast_path && !fastPathDisabledByEnv();
     stats().addScalar("instructions", &instructions_,
                       "instructions retired");
     stats().addScalar("loads", &loads_, "load operations executed");
@@ -87,28 +101,114 @@ TraceCpu::step()
     panic("unhandled op kind");
 }
 
+bool
+TraceCpu::chargeFastLatency()
+{
+    if (fast_lat_ == 0)
+        return false;
+    const Tick owed = fast_lat_;
+    fast_lat_ = 0;
+    eventq_.schedule(piece_event_, curTick() + owed);
+    return true;
+}
+
 void
 TraceCpu::issueNextPiece()
 {
-    if (op_offset_ >= cur_op_.size) {
-        // Memory op complete.
-        if (cur_op_.kind == WorkOp::Kind::Load)
-            workload_.deliver(op_buf_.data(), cur_op_.size);
-        instructions_ += 1.0;
-        mem_stall_time_ +=
-            static_cast<double>(curTick() - op_issue_tick_);
-        opComplete();
-        return;
+    // Consume pieces inline while they resolve fast in the hierarchy,
+    // accumulating their latency into fast_lat_. Nothing else can touch
+    // the caches mid-op (the core is blocking and pause() only lands at
+    // op boundaries), so a fast piece has no externally visible timing:
+    // charging the summed latency through one piece_event_ leaves every
+    // stat and completion tick identical to the per-piece event path.
+    while (op_offset_ < cur_op_.size) {
+        const Addr byte_addr = cur_op_.addr + op_offset_;
+        const Addr block_addr = blockAlign(byte_addr);
+        const std::uint32_t in_block =
+            static_cast<std::uint32_t>(byte_addr - block_addr);
+        const std::uint32_t chunk = std::min<std::uint32_t>(
+            cur_op_.size - op_offset_,
+            static_cast<std::uint32_t>(kBlockSize) - in_block);
+
+        // Once a checkpoint pause is pending, the op's completion will
+        // run the flush machinery, whose same-tick event ordering must
+        // match the event path exactly — finish the op on that path.
+        if (!fast_path_enabled_ || paused_) {
+            if (chargeFastLatency())
+                return;
+            issuePieceSlow(block_addr, in_block, chunk);
+            return;
+        }
+
+        Tick piece_lat = kNoFastPath;
+        if (cur_op_.kind == WorkOp::Kind::Load) {
+            // Full-block pieces read straight into the op buffer; a
+            // refusing hierarchy leaves the target untouched either way.
+            const bool whole = in_block == 0 && chunk == kBlockSize;
+            std::uint8_t* dst = whole ? op_buf_.data() + op_offset_
+                                      : block_buf_.data();
+            piece_lat = mem_.tryAccessFast(block_addr, false, nullptr,
+                                           dst, TrafficSource::DemandRead);
+            if (piece_lat != kNoFastPath && !whole) {
+                std::memcpy(op_buf_.data() + op_offset_,
+                            block_buf_.data() + in_block, chunk);
+            }
+        } else if (chunk == kBlockSize) {
+            piece_lat = mem_.tryAccessFast(block_addr, true,
+                                           cur_op_.data + op_offset_,
+                                           nullptr,
+                                           TrafficSource::CpuWriteback);
+        } else {
+            // Partial store: fast only when the write-allocate fill is.
+            // The fill installs the block at this level's L1, so the
+            // merge write then hits unconditionally.
+            const Tick read_lat = mem_.tryAccessFast(
+                block_addr, false, nullptr, block_buf_.data(),
+                TrafficSource::DemandRead);
+            if (read_lat != kNoFastPath) {
+                rmw_buf_ = block_buf_;
+                std::memcpy(rmw_buf_.data() + in_block,
+                            cur_op_.data + op_offset_, chunk);
+                const Tick write_lat = mem_.tryAccessFast(
+                    block_addr, true, rmw_buf_.data(), nullptr,
+                    TrafficSource::CpuWriteback);
+                panic_if(write_lat == kNoFastPath,
+                         "merge store refused after its fill");
+                piece_lat = read_lat + write_lat;
+            }
+        }
+
+        if (piece_lat == kNoFastPath) {
+            // The piece needs the event path. First replay any latency
+            // owed for fast pieces, so this piece is issued at exactly
+            // the tick the event path would have reached it (its device
+            // enqueue tick is timing-visible). The re-entry re-probes
+            // deterministically: cache state cannot change mid-op.
+            if (chargeFastLatency())
+                return;
+            issuePieceSlow(block_addr, in_block, chunk);
+            return;
+        }
+
+        fast_lat_ += piece_lat;
+        op_offset_ += chunk;
     }
 
-    const Addr byte_addr = cur_op_.addr + op_offset_;
-    const Addr block_addr = blockAlign(byte_addr);
-    const std::uint32_t in_block =
-        static_cast<std::uint32_t>(byte_addr - block_addr);
-    const std::uint32_t chunk = std::min<std::uint32_t>(
-        cur_op_.size - op_offset_,
-        static_cast<std::uint32_t>(kBlockSize) - in_block);
+    // Memory op complete; charge any latency still owed first.
+    if (chargeFastLatency())
+        return;
+    if (cur_op_.kind == WorkOp::Kind::Load)
+        workload_.deliver(op_buf_.data(), cur_op_.size);
+    instructions_ += 1.0;
+    mem_stall_time_ +=
+        static_cast<double>(curTick() - op_issue_tick_);
+    opComplete();
+}
 
+void
+TraceCpu::issuePieceSlow(Addr block_addr, std::uint32_t in_block,
+                         std::uint32_t chunk)
+{
     if (cur_op_.kind == WorkOp::Kind::Load) {
         // Read the block; data lands functionally at call time.
         mem_.accessBlock(block_addr, false, nullptr, block_buf_.data(),
@@ -130,19 +230,22 @@ TraceCpu::issueNextPiece()
         return;
     }
 
-    const std::uint32_t offset_snapshot = op_offset_;
-    mem_.accessBlock(
-        block_addr, false, nullptr, block_buf_.data(),
-        TrafficSource::DemandRead,
-        [this, block_addr, in_block, chunk, offset_snapshot] {
-            // Timing of the merge write chains after the fill.
-            std::array<std::uint8_t, kBlockSize> merged = block_buf_;
-            std::memcpy(merged.data() + in_block,
-                        cur_op_.data + offset_snapshot, chunk);
-            mem_.accessBlock(block_addr, true, merged.data(), nullptr,
-                             TrafficSource::CpuWriteback,
-                             [this] { issueNextPiece(); });
-        });
+    // The merged block is built now, from fill data that arrives
+    // functionally at call time; the callback only replays it, so its
+    // correctness no longer depends on block_buf_ surviving until the
+    // fill's timing completes.
+    mem_.accessBlock(block_addr, false, nullptr, block_buf_.data(),
+                     TrafficSource::DemandRead, [this, block_addr] {
+                         // Timing of the merge write chains after the
+                         // fill.
+                         mem_.accessBlock(block_addr, true,
+                                          rmw_buf_.data(), nullptr,
+                                          TrafficSource::CpuWriteback,
+                                          [this] { issueNextPiece(); });
+                     });
+    rmw_buf_ = block_buf_;
+    std::memcpy(rmw_buf_.data() + in_block, cur_op_.data + op_offset_,
+                chunk);
     op_offset_ += chunk;
 }
 
@@ -217,6 +320,7 @@ TraceCpu::restoreArchState(const std::vector<std::uint8_t>& blob)
     finished_ = false;
     busy_ = false;
     paused_ = false;
+    fast_lat_ = 0;
 }
 
 } // namespace thynvm

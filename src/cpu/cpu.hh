@@ -33,6 +33,13 @@ class TraceCpu : public SimObject
         Tick cycle_period = 333;
         /** Largest single memory operation the core will split. */
         std::uint32_t max_op_bytes = 8192;
+        /**
+         * Consume cache-hit pieces through tryAccessFast(), charging the
+         * accumulated latency with one event per op. Timing and stats
+         * are identical either way (enforced by the equivalence tests);
+         * the env var THYNVM_NO_FAST_PATH=1 also forces the event path.
+         */
+        bool use_fast_path = true;
     };
 
     TraceCpu(EventQueue& eq, std::string name, const Params& params,
@@ -93,6 +100,16 @@ class TraceCpu : public SimObject
     void opComplete();
     /** Issue the next block-granularity piece of the current memory op. */
     void issueNextPiece();
+    /** Issue one piece on the event path (fast path refused/disabled). */
+    void issuePieceSlow(Addr block_addr, std::uint32_t in_block,
+                        std::uint32_t chunk);
+    /**
+     * Charge latency accumulated by fast pieces: re-enter
+     * issueNextPiece() once it has elapsed. Exactly one event fires per
+     * uninterrupted run of fast pieces, at the tick the event path
+     * would have reached the same point.
+     */
+    bool chargeFastLatency();
 
     Params params_;
     BlockAccessor& mem_;
@@ -102,6 +119,8 @@ class TraceCpu : public SimObject
      *  per-cycle step/complete chain schedules with zero setup cost. */
     Event step_event_;
     Event op_complete_event_;
+    /** Resumes issueNextPiece() after accumulated fast-path latency. */
+    Event piece_event_;
 
     bool started_ = false;
     bool finished_ = false;
@@ -117,6 +136,13 @@ class TraceCpu : public SimObject
     Tick op_issue_tick_ = 0;
     std::vector<std::uint8_t> op_buf_;
     std::array<std::uint8_t, kBlockSize> block_buf_{};
+    /** Merged block of an in-flight partial-store read-modify-write.
+     *  Built at issue time so no callback ever reads block_buf_ late. */
+    std::array<std::uint8_t, kBlockSize> rmw_buf_{};
+    /** Latency owed for fast pieces not yet charged via piece_event_. */
+    Tick fast_lat_ = 0;
+    /** Params::use_fast_path combined with the env override. */
+    bool fast_path_enabled_ = true;
 
     stats::Scalar instructions_;
     stats::Scalar loads_;

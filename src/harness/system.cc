@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <ostream>
 
 namespace thynvm {
 
@@ -184,6 +185,23 @@ System::crash()
     }
     eq_.clear();
     return nvm;
+}
+
+void
+System::dumpStats(std::ostream& os)
+{
+    os << "tick=" << eq_.now() << "\n";
+    cpu_->stats().dump(os);
+    if (cfg_.use_caches) {
+        l1_->stats().dump(os);
+        l2_->stats().dump(os);
+        l3_->stats().dump(os);
+    }
+    controller_->stats().dump(os);
+    if (MemDevice* d = controller_->nvmDevice())
+        d->stats().dump(os);
+    if (MemDevice* d = controller_->dramDevice())
+        d->stats().dump(os);
 }
 
 RunMetrics

@@ -13,6 +13,7 @@
 #ifndef THYNVM_HARNESS_SYSTEM_HH
 #define THYNVM_HARNESS_SYSTEM_HH
 
+#include <iosfwd>
 #include <memory>
 
 #include "baselines/ideal.hh"
@@ -119,6 +120,16 @@ class System
 
     /** Zero-time read of current architectural memory (via caches). */
     FunctionalView functionalView();
+
+    /**
+     * Dump every stat in the system — CPU, caches, controller, devices —
+     * plus the current tick, in a fixed order. Equivalence and
+     * determinism tests compare these dumps as strings. The executed
+     * event count is deliberately excluded: it is host instrumentation,
+     * and the hit fast path exists precisely to shrink it without
+     * changing anything this dump contains.
+     */
+    void dumpStats(std::ostream& os);
 
     /** Collected measurements since start. */
     RunMetrics metrics() const;

@@ -20,6 +20,12 @@
 namespace thynvm {
 
 /**
+ * Returned by tryAccessFast() when the access cannot complete
+ * synchronously and must take the event path instead.
+ */
+constexpr Tick kNoFastPath = kMaxTick;
+
+/**
  * Anything that services 64-byte block accesses with split
  * functional/timing semantics.
  */
@@ -43,6 +49,33 @@ class BlockAccessor
                              const std::uint8_t* wdata,
                              std::uint8_t* rdata, TrafficSource source,
                              std::function<void()> done) = 0;
+
+    /**
+     * Synchronous fast path: service the access inline and return its
+     * latency, or return kNoFastPath without any observable effect.
+     *
+     * A level may answer only when the access completes entirely within
+     * state it owns synchronously — a cache hit, or a miss whose fill
+     * resolves fast below and whose victim needs no writeback. Anything
+     * that would stage device-queue traffic (and thus make the issue
+     * tick timing-visible) must refuse. On success the level performs
+     * exactly the mutations the event path would (stats, LRU, data) and
+     * the caller charges the returned latency itself; no callback fires.
+     * On refusal the level must leave all state, including @p rdata,
+     * untouched, so the caller can replay the access via accessBlock()
+     * with identical results.
+     */
+    virtual Tick
+    tryAccessFast(Addr paddr, bool is_write, const std::uint8_t* wdata,
+                  std::uint8_t* rdata, TrafficSource source)
+    {
+        (void)paddr;
+        (void)is_write;
+        (void)wdata;
+        (void)rdata;
+        (void)source;
+        return kNoFastPath;
+    }
 
     /**
      * Functional (zero-time) read of one block's current architectural

@@ -15,7 +15,7 @@ class FlatMemory : public BlockAccessor
 {
   public:
     FlatMemory(EventQueue& eq, std::size_t size, Tick latency)
-        : eq_(eq), bytes_(size, 0), latency_(latency)
+        : bytes_(size, 0), eq_(eq), latency_(latency)
     {}
 
     void

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fast-path stat-equivalence suite: the synchronous hit fast path
+ * (BlockAccessor::tryAccessFast) is a pure host-time optimization, so a
+ * run with the fast path enabled must be indistinguishable — in every
+ * stat, the final tick, the executed-event count, and the final memory
+ * image — from the same run forced onto the per-piece event path.
+ *
+ * This is the contract the figure benches rely on: any divergence here
+ * means the fast path changed simulated behavior, not just host speed.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tests/test_util.hh"
+
+#include "harness/system.hh"
+#include "workloads/micro.hh"
+
+namespace thynvm {
+namespace {
+
+struct RunResult
+{
+    std::string stats;
+    std::vector<std::uint8_t> image;
+    std::uint64_t instructions;
+};
+
+RunResult
+runCell(SystemKind kind, bool fast_path, std::uint32_t access_size)
+{
+    MicroWorkload::Params mp;
+    mp.pattern = MicroWorkload::Pattern::Random;
+    mp.base = 0;
+    mp.array_bytes = 8u << 20;
+    mp.access_size = access_size;
+    mp.read_fraction = 0.5;
+    mp.total_accesses = 6000;
+    mp.seed = 7;
+    MicroWorkload wl(mp);
+
+    SystemConfig cfg;
+    cfg.kind = kind;
+    cfg.phys_size = 16u << 20;
+    cfg.epoch_length = 5 * kMillisecond;
+    cfg.thynvm.btt_entries = 2048;
+    cfg.thynvm.ptt_entries = 4096;
+    cfg.cpu.use_fast_path = fast_path;
+
+    System sys(cfg, wl);
+    sys.start();
+    sys.run(60 * kSecond);
+    EXPECT_TRUE(sys.finished());
+
+    RunResult r;
+    std::ostringstream os;
+    sys.dumpStats(os);
+    r.stats = os.str();
+    r.image.resize(mp.array_bytes);
+    sys.functionalView()(mp.base, r.image.data(), r.image.size());
+    r.instructions = sys.cpu().instructions();
+    return r;
+}
+
+void
+expectEquivalent(SystemKind kind, std::uint32_t access_size)
+{
+    const RunResult fast = runCell(kind, true, access_size);
+    const RunResult slow = runCell(kind, false, access_size);
+    EXPECT_EQ(fast.stats, slow.stats) << systemKindName(kind);
+    EXPECT_EQ(fast.instructions, slow.instructions) << systemKindName(kind);
+    EXPECT_TRUE(fast.image == slow.image)
+        << systemKindName(kind) << ": final memory images differ";
+    // Sanity: the dump carries CPU, cache, and device stats, so a
+    // behavioral difference in any layer would have shown up above.
+    EXPECT_NE(fast.stats.find("instructions"), std::string::npos);
+    EXPECT_NE(fast.stats.find("hits"), std::string::npos);
+    EXPECT_NE(fast.stats.find("write_bytes"), std::string::npos);
+}
+
+TEST(FastPathEquivalenceTest, ThyNvmBlockAccesses)
+{
+    expectEquivalent(SystemKind::ThyNvm, 64);
+}
+
+TEST(FastPathEquivalenceTest, ThyNvmPartialStores)
+{
+    // 48-byte accesses straddle block boundaries and exercise the
+    // partial-store read-modify-write on both paths.
+    expectEquivalent(SystemKind::ThyNvm, 48);
+}
+
+TEST(FastPathEquivalenceTest, JournalBlockAccesses)
+{
+    expectEquivalent(SystemKind::Journal, 64);
+}
+
+TEST(FastPathEquivalenceTest, ShadowBlockAccesses)
+{
+    expectEquivalent(SystemKind::Shadow, 64);
+}
+
+TEST(FastPathEquivalenceTest, IdealDramBlockAccesses)
+{
+    expectEquivalent(SystemKind::IdealDram, 64);
+}
+
+TEST(FastPathEquivalenceTest, IdealNvmPartialStores)
+{
+    expectEquivalent(SystemKind::IdealNvm, 48);
+}
+
+TEST(FastPathEquivalenceTest, MultiBlockOps)
+{
+    // 1KB ops span 16 blocks; the fast path collapses them into one
+    // completion event per op, which must not change simulated time.
+    expectEquivalent(SystemKind::ThyNvm, 1024);
+}
+
+} // namespace
+} // namespace thynvm

@@ -58,8 +58,9 @@ TEST(TraceTest, ReplayReproducesTheStream)
         EXPECT_EQ(a.kind, b.kind);
         EXPECT_EQ(a.addr, b.addr);
         EXPECT_EQ(a.size, b.size);
-        if (a.kind == WorkOp::Kind::Compute)
+        if (a.kind == WorkOp::Kind::Compute) {
             EXPECT_EQ(a.count, b.count);
+        }
     }
 }
 
