@@ -115,10 +115,12 @@ class EpochController : public MemController
             return;
         boundary_requested_ = false;
         ckpt_in_progress_ = true;
+        crashPoint("boundary.begin");
         stall_start_ = curTick();
         if (epoch_timer_.scheduled())
             eventq_.deschedule(epoch_timer_);
         auto run = [this] {
+            crashPoint("epoch.flush_done");
             doCheckpoint([this] { boundaryDone(); });
         };
         if (flush_)
@@ -130,6 +132,7 @@ class EpochController : public MemController
     void
     boundaryDone()
     {
+        crashPoint("ckpt.committed");
         ++epochs_;
         const Tick stalled = curTick() - stall_start_;
         ckpt_stall_time_ += static_cast<double>(stalled);

@@ -43,8 +43,8 @@ JournalController::JournalController(
                    (cfg.table_entries + cfg.table_headroom) * kBlockSize +
                    roundUp((cfg.table_entries + cfg.table_headroom) * 8,
                            kBlockSize) +
-                   2 * kBlockSize + roundUp(8 + cfg.cpu_state_max,
-                                            kBlockSize)),
+                   2 * kBlockSize + 2 * roundUp(8 + cfg.cpu_state_max,
+                                                kBlockSize)),
                std::move(nvm_store)),
       dram_port_(dram_dev_),
       nvm_port_(nvm_dev_)
@@ -84,9 +84,10 @@ JournalController::appliedAddr() const
 }
 
 Addr
-JournalController::cpuAddr() const
+JournalController::cpuAddr(unsigned k) const
 {
-    return appliedAddr() + kBlockSize;
+    return appliedAddr() + kBlockSize +
+           k * roundUp(8 + cfg_.cpu_state_max, kBlockSize);
 }
 
 void
@@ -171,6 +172,7 @@ JournalController::loadImage(Addr paddr, const void* buf, std::size_t len)
 void
 JournalController::doCheckpoint(std::function<void()> done)
 {
+    crashPoint("ckpt.start");
     // Snapshot the table in slot order for deterministic journal layout.
     std::vector<std::pair<std::size_t, Addr>> entries;
     entries.reserve(table_.size());
@@ -186,6 +188,7 @@ JournalController::doCheckpoint(std::function<void()> done)
         std::uint8_t data[kBlockSize];
         dram_port_.functionalRead(dramSlotAddr(slot), data, kBlockSize);
 
+        crashPoint("ckpt.journal_block");
         dram_port_.sendRead(dramSlotAddr(slot), TrafficSource::Checkpoint);
         nvm_port_.sendWrite(journalDataAddr(i), data,
                             TrafficSource::Checkpoint);
@@ -198,7 +201,11 @@ JournalController::doCheckpoint(std::function<void()> done)
                             TrafficSource::Checkpoint);
     }
 
-    // CPU state blob.
+    const std::uint64_t epoch = epoch_num_++;
+
+    // CPU state blob, in the area of this epoch's parity: the area the
+    // committed header points at stays intact until the new header is
+    // durable.
     std::vector<std::uint8_t> cpu(roundUp(8 + cpu_state_.size(),
                                           kBlockSize),
                                   0);
@@ -206,17 +213,16 @@ JournalController::doCheckpoint(std::function<void()> done)
     std::memcpy(cpu.data(), &cpu_len, 8);
     std::memcpy(cpu.data() + 8, cpu_state_.data(), cpu_state_.size());
     for (std::size_t off = 0; off < cpu.size(); off += kBlockSize) {
-        nvm_port_.sendWrite(cpuAddr() + off, cpu.data() + off,
+        nvm_port_.sendWrite(cpuAddr(epoch & 1) + off, cpu.data() + off,
                             TrafficSource::Checkpoint);
     }
-
-    const std::uint64_t epoch = epoch_num_++;
     auto commit_entries = std::make_shared<
         std::vector<std::pair<std::size_t, Addr>>>(std::move(entries));
 
     // Phase 2: commit header after the journal is durable.
     nvm_port_.notifyWhenWritesDurable([this, epoch, commit_entries,
                                        done = std::move(done)]() mutable {
+        crashPoint("ckpt.pre_commit_header");
         JournalHeader hdr{};
         hdr.magic = kJournalMagic;
         hdr.epoch = epoch;
@@ -232,6 +238,7 @@ JournalController::doCheckpoint(std::function<void()> done)
                                            done = std::move(done)]()
                                               mutable {
             for (const auto& [slot, paddr] : *commit_entries) {
+                crashPoint("ckpt.apply_block");
                 std::uint8_t data[kBlockSize];
                 dram_port_.functionalRead(dramSlotAddr(slot), data,
                                           kBlockSize);
@@ -242,6 +249,7 @@ JournalController::doCheckpoint(std::function<void()> done)
             nvm_port_.notifyWhenWritesDurable([this, epoch,
                                                done = std::move(done)]()
                                                   mutable {
+                crashPoint("ckpt.pre_applied_marker");
                 AppliedMarker mk{kJournalMagic, epoch};
                 std::uint8_t mk_blk[kBlockSize] = {};
                 std::memcpy(mk_blk, &mk, sizeof(mk));
@@ -294,11 +302,12 @@ JournalController::recover(std::function<void()> done)
 
     if (hdr.magic == kJournalMagic) {
         // Restore the CPU state of the committed epoch.
+        const unsigned k = static_cast<unsigned>(hdr.epoch & 1);
         std::uint64_t cpu_len = 0;
-        nvm_dev_.store().read(cpuAddr(), &cpu_len, 8);
+        nvm_dev_.store().read(cpuAddr(k), &cpu_len, 8);
         panic_if(cpu_len != hdr.cpu_len, "CPU state length mismatch");
         recovered_cpu_state_.resize(cpu_len);
-        nvm_dev_.store().read(cpuAddr() + 8, recovered_cpu_state_.data(),
+        nvm_dev_.store().read(cpuAddr(k) + 8, recovered_cpu_state_.data(),
                               cpu_len);
 
         if (mk.magic != kJournalMagic || mk.epoch < hdr.epoch) {

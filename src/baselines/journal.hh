@@ -103,7 +103,14 @@ class JournalController : public EpochController
     Addr journalMetaAddr() const;
     Addr headerAddr() const;
     Addr appliedAddr() const;
-    Addr cpuAddr() const;
+    /**
+     * CPU-state area of epoch parity @p k. Double-buffered: the next
+     * checkpoint's phase-1 writes must not clobber the state the
+     * still-committed header points at (a crash between those writes
+     * becoming durable and the new header landing would otherwise
+     * recover old data with new CPU state).
+     */
+    Addr cpuAddr(unsigned k) const;
 
     JournalConfig cfg_;
     MemDevice dram_dev_;

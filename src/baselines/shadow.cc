@@ -151,6 +151,7 @@ void
 ShadowController::flushPage(Addr page_paddr, Resident& r,
                             TrafficSource src)
 {
+    crashPoint("ckpt.page_flushed");
     const std::size_t idx = pageIndex(page_paddr);
     const std::uint8_t target = committed_slot_[idx] ^ 1u;
     const Addr dst = nvmPageAddr(idx, target);
@@ -240,6 +241,7 @@ ShadowController::loadImage(Addr paddr, const void* buf, std::size_t len)
 void
 ShadowController::doCheckpoint(std::function<void()> done)
 {
+    crashPoint("ckpt.start");
     // Flush every dirty resident page to its shadow slot.
     std::vector<Addr> pages;
     for (auto& [paddr, r] : resident_) {
@@ -271,9 +273,11 @@ ShadowController::doCheckpoint(std::function<void()> done)
         nvm_port_.sendWrite(cpuAddr(k) + off, cpu.data() + off,
                             TrafficSource::Checkpoint);
     }
+    crashPoint("ckpt.table_staged");
 
     nvm_port_.notifyWhenWritesDurable([this, k,
                                        done = std::move(done)]() mutable {
+        crashPoint("ckpt.pre_commit_header");
         ShadowHeader hdr{};
         hdr.magic = kShadowMagic;
         hdr.epoch = epoch_num_;
@@ -284,6 +288,7 @@ ShadowController::doCheckpoint(std::function<void()> done)
                             TrafficSource::Checkpoint);
         nvm_port_.notifyWhenWritesDurable(
             [this, done = std::move(done)]() mutable {
+                crashPoint("ckpt.pre_slot_flip");
                 // Commit: flip slots for flushed pages.
                 for (std::size_t i = 0; i < numPages(); ++i) {
                     committed_slot_[i] ^= working_nvm_valid_[i];

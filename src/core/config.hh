@@ -81,6 +81,15 @@ struct ThyNvmConfig
      */
     std::size_t overflow_stall_watermark = 8192;
 
+    /**
+     * Fault injection for fuzzer self-tests: if set to a valid BTT
+     * index, persistBtt() stages that entry's serialized record as
+     * invalid (as if its persist were skipped), so recovery silently
+     * resolves the block to stale Home data. The default (npos) is a
+     * correct controller. Never set outside tests.
+     */
+    std::size_t debug_drop_btt_entry = static_cast<std::size_t>(-1);
+
     /** DRAM working-region bytes (pages + block buffer + overflow). */
     std::size_t
     dramSize() const

@@ -594,6 +594,7 @@ ThyNvmController::stageOverflowLog()
     stageMetadataWrite(slot_base + layout_.overflowBitmapOffset(),
                        bitmap);
     overflow_logged_ = overflow_map_.size();
+    crashPoint("ckpt.overflow_logged");
 }
 
 // ---------------------------------------------------------------------
@@ -615,6 +616,7 @@ ThyNvmController::beginBoundary()
 {
     boundary_in_progress_ = true;
     boundary_requested_ = false;
+    crashPoint("boundary.begin");
     if (epoch_timer_.scheduled())
         eventq_.deschedule(epoch_timer_);
     stall_window_start_ = curTick();
@@ -627,6 +629,7 @@ ThyNvmController::beginBoundary()
 void
 ThyNvmController::afterFlush()
 {
+    crashPoint("epoch.flush_done");
     schemeSwitchDecisions();
     ++epoch_;
     armEpochTimer();
@@ -808,6 +811,7 @@ ThyNvmController::startCheckpoint()
     panic_if(ckpt_in_progress_, "overlapping checkpoints");
     ckpt_in_progress_ = true;
     ckpt_start_tick_ = curTick();
+    crashPoint("ckpt.start");
 
     retireOverflowEntries();
     drainBlockBuffers();
@@ -845,6 +849,8 @@ ThyNvmController::drainBlockBuffers()
             e.pending_slot = e.wactive_slot;
             e.wactive = WactiveLoc::None;
         }
+        if (e.pending)
+            crashPoint("ckpt.block_drained");
     });
 }
 
@@ -992,6 +998,7 @@ ThyNvmController::stageMetadataWrite(Addr nvm_addr,
         const std::size_t chunk =
             std::min(kBlockSize, bytes.size() - off);
         std::memcpy(block, bytes.data() + off, chunk);
+        crashPoint("ckpt.meta_block");
         sendNvmWrite(nvm_addr + off, block, TrafficSource::Checkpoint);
     }
 }
@@ -999,9 +1006,25 @@ ThyNvmController::stageMetadataWrite(Addr nvm_addr,
 void
 ThyNvmController::persistBtt()
 {
-    stageMetadataWrite(layout_.backupSlot(backup_toggle_) +
-                           layout_.bttAreaOffset(),
-                       bttImage());
+    crashPoint("ckpt.persist_btt");
+    const Addr dst =
+        layout_.backupSlot(backup_toggle_) + layout_.bttAreaOffset();
+    const std::vector<std::uint8_t>& img = bttImage();
+    if (cfg_.debug_drop_btt_entry < btt_.capacity()) {
+        // Fault injection (fuzzer self-test): persist the image as if
+        // this entry's record never reached NVM. Recovery then resolves
+        // the block to stale Home data — a silent consistency bug of
+        // exactly the kind the oracle must catch.
+        std::vector<std::uint8_t> broken = img;
+        SerializedEntry invalid{};
+        invalid.tag = kInvalidAddr;
+        std::memcpy(broken.data() +
+                        cfg_.debug_drop_btt_entry * sizeof(invalid),
+                    &invalid, sizeof(invalid));
+        stageMetadataWrite(dst, broken);
+        return;
+    }
+    stageMetadataWrite(dst, img);
 }
 
 void
@@ -1083,6 +1106,7 @@ ThyNvmController::pageBlockReadDone(std::size_t pidx, Addr page_paddr,
 void
 ThyNvmController::finishPageWriteback(std::size_t pidx)
 {
+    crashPoint("ckpt.page_written");
     PttEntry& e = ptt_.at(pidx);
     e.wb_in_flight = false;
     mergeOverlays(pidx, e.page_paddr);
@@ -1168,6 +1192,7 @@ ThyNvmController::stageDemotionCopies()
 void
 ThyNvmController::persistPttAndCpu()
 {
+    crashPoint("ckpt.persist_ptt");
     const Addr slot = layout_.backupSlot(backup_toggle_);
     stageMetadataWrite(slot + layout_.pttAreaOffset(), pttImage());
 
@@ -1186,6 +1211,7 @@ ThyNvmController::persistPttAndCpu()
 void
 ThyNvmController::writeCommitHeader()
 {
+    crashPoint("ckpt.pre_commit_header");
     BackupHeader hdr{};
     hdr.magic = kBackupMagic;
     hdr.epoch = epoch_ - 1; // the epoch this checkpoint captured
@@ -1201,6 +1227,7 @@ ThyNvmController::writeCommitHeader()
 void
 ThyNvmController::commitCheckpoint()
 {
+    crashPoint("ckpt.committed");
     // Flip block versions.
     std::vector<std::size_t> btt_release;
     btt_.forEachLive([&btt_release](std::size_t bidx, BttEntry& e) {

@@ -97,8 +97,10 @@ class Workload
     /**
      * Install the functional memory view (set by the System before
      * execution). Data-dependent workloads use it to plan operations.
+     * Virtual so wrapper workloads (e.g. the fuzzer's recording
+     * wrapper) can forward the view to the workload they decorate.
      */
-    void setFunctionalView(FunctionalView view)
+    virtual void setFunctionalView(FunctionalView view)
     {
         fview_ = std::move(view);
     }

@@ -72,6 +72,8 @@ System::System(const SystemConfig& cfg, Workload& workload,
       }
     }
 
+    controller_->setCrashPoints(cfg_.crash_points);
+
     BlockAccessor* below = controller_.get();
     if (cfg_.use_caches) {
         l3_ = std::make_unique<Cache>(eq_, "sys.l3", cfg_.l3, *below);

@@ -54,6 +54,13 @@ struct SystemConfig
     /** ThyNVM-specific knobs (phys_size/epoch_length are copied in). */
     ThyNvmConfig thynvm;
 
+    /**
+     * Optional crash-point registry (not owned; must outlive the
+     * System). The controller announces its checkpoint-pipeline steps
+     * to it so a fuzz driver can enumerate and arm crash sites.
+     */
+    CrashPointRegistry* crash_points = nullptr;
+
     TraceCpu::Params cpu;
     Cache::Params l1{32 * 1024, 8, 4 * 333};
     Cache::Params l2{256 * 1024, 8, 12 * 333};

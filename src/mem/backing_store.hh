@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "common/logging.hh"
@@ -65,6 +66,20 @@ class BackingStore
     clear()
     {
         std::fill(bytes_.begin(), bytes_.end(), 0);
+    }
+
+    /**
+     * Deep copy of the current contents. Crash tests use clones to
+     * recover the same surviving image several times independently
+     * (recovery may legitimately write to the store, e.g. a journal
+     * replay, so sharing one store would couple the attempts).
+     */
+    std::shared_ptr<BackingStore>
+    clone() const
+    {
+        auto copy = std::make_shared<BackingStore>(bytes_.size());
+        copy->bytes_ = bytes_;
+        return copy;
     }
 
   private:

@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "fuzz/crash_points.hh"
 #include "mem/block_accessor.hh"
 #include "mem/device.hh"
 #include "mem/request.hh"
@@ -132,6 +133,15 @@ class MemController : public SimObject, public BlockAccessor
     /** Register the CPU-side flush client used during checkpointing. */
     void setFlushClient(FlushClient client) { flush_ = std::move(client); }
 
+    /**
+     * Attach a crash-point registry; every controller announces its
+     * checkpoint-pipeline steps to it via crashPoint(). Detached (the
+     * default) the instrumentation is a single null check.
+     */
+    void setCrashPoints(CrashPointRegistry* reg) { crash_points_ = reg; }
+    /** The attached registry, if any. */
+    CrashPointRegistry* crashPoints() const { return crash_points_; }
+
     /** NVM device, if this controller has one (for traffic metrics). */
     virtual MemDevice* nvmDevice() { return nullptr; }
     /** DRAM device, if this controller has one. */
@@ -157,7 +167,16 @@ class MemController : public SimObject, public BlockAccessor
     }
 
   protected:
+    /** Announce a named checkpoint-pipeline step to the registry. */
+    void
+    crashPoint(const char* site)
+    {
+        if (crash_points_ != nullptr)
+            crash_points_->hit(site, curTick());
+    }
+
     FlushClient flush_;
+    CrashPointRegistry* crash_points_ = nullptr;
     stats::Scalar epochs_;
     stats::Scalar ckpt_stall_time_;
     stats::Scalar ckpt_busy_time_;

@@ -316,6 +316,17 @@ class EventQueue
     /** Number of pending items (including lazily cancelled ones). */
     std::size_t size() const { return heap_.size() + ring_.size(); }
 
+    /**
+     * Earliest pending tick, or kMaxTick if the queue is empty. Lets a
+     * crash driver drain exactly the events at or before a chosen tick
+     * (step() while nextTick() <= t) before pulling the plug.
+     */
+    Tick
+    nextTick() const
+    {
+        return empty() ? kMaxTick : nextWhen();
+    }
+
     /** Callbacks executed since construction (perf instrumentation). */
     std::uint64_t eventsExecuted() const { return events_executed_; }
 

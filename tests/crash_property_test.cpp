@@ -172,7 +172,7 @@ std::vector<ThyNvmCrashParam>
 makeCrashParams()
 {
     std::vector<ThyNvmCrashParam> params;
-    Rng rng(0xC0FFEE);
+    Rng rng(test::loggedSeed("crash_property.params", 0xC0FFEE));
     for (unsigned i = 0; i < 40; ++i) {
         params.push_back(ThyNvmCrashParam{
             1000 + i,

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Repro-string contract of the crash fuzzer.
+ *
+ * A failing fuzz case is only useful if its one-line repro string
+ * replays the identical crash on a developer machine. These tests pin
+ * that contract: format/parse round-trip, bit-identical deterministic
+ * replay, and end-to-end replay of a repro produced by an injected
+ * regression (failing with the fault armed, passing without).
+ */
+
+#include "tests/test_util.hh"
+
+#include <sstream>
+
+#include "fuzz/fuzzer.hh"
+
+namespace thynvm {
+namespace {
+
+using namespace fuzz;
+
+TEST(CrashRepro, FormatParseRoundTrip)
+{
+    FuzzCase c;
+    c.seed = 42;
+    c.workload = "slide";
+    c.system = SystemKind::Shadow;
+    c.site = "ckpt.pre_commit_header";
+    c.hit = 7;
+    c.delta = 1234;
+    c.fast_path = false;
+
+    const std::string repro = formatRepro(c);
+    FuzzCase back;
+    ASSERT_TRUE(parseRepro(repro, back));
+    EXPECT_EQ(back.seed, c.seed);
+    EXPECT_EQ(back.workload, c.workload);
+    EXPECT_EQ(back.system, c.system);
+    EXPECT_EQ(back.site, c.site);
+    EXPECT_EQ(back.hit, c.hit);
+    EXPECT_EQ(back.delta, c.delta);
+    EXPECT_EQ(back.fast_path, c.fast_path);
+    EXPECT_EQ(formatRepro(back), repro);
+}
+
+TEST(CrashRepro, MalformedStringsAreRejected)
+{
+    FuzzCase out;
+    EXPECT_FALSE(parseRepro("", out));
+    EXPECT_FALSE(parseRepro("seed=1", out));
+    EXPECT_FALSE(parseRepro("seed=1:wl=rand:sys=nosuch:site=x:hit=1:"
+                            "delta=0:fp=on",
+                            out));
+    EXPECT_FALSE(parseRepro("seed=1:wl=rand:sys=thynvm:site=x:hit=bad:"
+                            "delta=0:fp=on",
+                            out));
+    EXPECT_FALSE(parseRepro("garbage without any separators", out));
+}
+
+/** Replaying the same case twice is bit-identical, end to end. */
+TEST(CrashRepro, ReplayIsDeterministic)
+{
+    FuzzerConfig fc;
+    FuzzCase c;
+    c.seed = test::loggedSeed("crash_repro.determinism", 1);
+    c.workload = "rand";
+    c.system = SystemKind::ThyNvm;
+    c.site = "ckpt.committed";
+    c.hit = 1;
+
+    const CaseResult a = runCrashCase(fc, c);
+    const CaseResult b = runCrashCase(fc, c);
+
+    ASSERT_EQ(a.status, CaseStatus::Ok) << a.detail;
+    ASSERT_EQ(b.status, CaseStatus::Ok) << b.detail;
+    EXPECT_EQ(a.crash_tick, b.crash_tick);
+    EXPECT_EQ(a.commits_before, b.commits_before);
+    EXPECT_EQ(a.restored_ops, b.restored_ops);
+    EXPECT_EQ(a.recovered_image, b.recovered_image);
+    EXPECT_EQ(a.final_image, b.final_image);
+}
+
+/**
+ * End-to-end workflow: the campaign (with an injected fault) prints a
+ * repro; replaying that exact string reproduces the violation; the
+ * same string on a healthy build passes. This is what a developer does
+ * when a nightly fuzz job fails.
+ */
+TEST(CrashRepro, InjectedReproReplaysDeterministically)
+{
+    FuzzerConfig broken;
+    broken.debug_drop_btt_entry = 0;
+    CampaignOptions opts;
+    opts.seeds = {1};
+    opts.systems = {SystemKind::ThyNvm};
+    opts.workloads = {"rand"};
+
+    const CampaignResult campaign = runCampaign(broken, opts, nullptr);
+    ASSERT_FALSE(campaign.violations.empty())
+        << "injected fault produced no violation to replay";
+
+    const std::string repro = campaign.violations.front().repro;
+    FuzzCase c;
+    ASSERT_TRUE(parseRepro(repro, c)) << repro;
+
+    // Replay on the broken build: violation, same detail both times.
+    const CaseResult r1 = runCrashCase(broken, c);
+    const CaseResult r2 = runCrashCase(broken, c);
+    EXPECT_EQ(r1.status, CaseStatus::Violation) << repro;
+    EXPECT_EQ(r1.detail, r2.detail);
+    EXPECT_EQ(r1.detail, campaign.violations.front().detail);
+
+    // Replay on the healthy build: the same crash plan passes.
+    FuzzerConfig healthy;
+    const CaseResult ok = runCrashCase(healthy, c);
+    EXPECT_EQ(ok.status, CaseStatus::Ok) << ok.detail;
+}
+
+} // namespace
+} // namespace thynvm

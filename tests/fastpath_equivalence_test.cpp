@@ -16,6 +16,7 @@
 
 #include "tests/test_util.hh"
 
+#include "fuzz/fuzzer.hh"
 #include "harness/system.hh"
 #include "workloads/micro.hh"
 
@@ -118,6 +119,67 @@ TEST(FastPathEquivalenceTest, MultiBlockOps)
     // 1KB ops span 16 blocks; the fast path collapses them into one
     // completion event per op, which must not change simulated time.
     expectEquivalent(SystemKind::ThyNvm, 1024);
+}
+
+/**
+ * Crash/recovery shapes: the equivalence contract must survive power
+ * failure, not just clean runs. Crash plans are expressed as (site,
+ * hit ordinal, tick delta) — simulated behavior, identical in both
+ * modes — so the same plan run fast and slow must crash at the same
+ * tick, restore the same op count, and yield byte-identical recovered
+ * and final images.
+ */
+void
+expectCrashEquivalent(SystemKind kind, const std::string& workload)
+{
+    const fuzz::FuzzerConfig fc;
+    const std::uint64_t seed = 1;
+
+    const auto sites = fuzz::enumerateSites(fc, seed, workload, kind,
+                                            /*fast_path=*/true);
+    ASSERT_FALSE(sites.empty()) << systemKindName(kind);
+
+    for (const auto& [site, hits] : sites) {
+        fuzz::FuzzCase c;
+        c.seed = seed;
+        c.workload = workload;
+        c.system = kind;
+        c.site = site;
+        c.hit = hits; // last hit: deepest into the run
+
+        c.fast_path = true;
+        const fuzz::CaseResult fast = fuzz::runCrashCase(fc, c);
+        c.fast_path = false;
+        const fuzz::CaseResult slow = fuzz::runCrashCase(fc, c);
+
+        ASSERT_EQ(fast.status, fuzz::CaseStatus::Ok)
+            << fast.repro << ": " << fast.detail;
+        ASSERT_EQ(slow.status, fuzz::CaseStatus::Ok)
+            << slow.repro << ": " << slow.detail;
+        EXPECT_EQ(fast.crash_tick, slow.crash_tick) << fast.repro;
+        EXPECT_EQ(fast.commits_before, slow.commits_before) << fast.repro;
+        EXPECT_EQ(fast.restored_ops, slow.restored_ops) << fast.repro;
+        EXPECT_TRUE(fast.recovered_image == slow.recovered_image)
+            << fast.repro << ": recovered images differ fast vs slow";
+        EXPECT_TRUE(fast.final_image == slow.final_image)
+            << fast.repro << ": final images differ fast vs slow";
+    }
+}
+
+TEST(FastPathEquivalenceTest, ThyNvmCrashRecoveryAtEverySite)
+{
+    // The sliding window promotes pages, reaching all 11 ThyNVM sites.
+    expectCrashEquivalent(SystemKind::ThyNvm, "slide");
+}
+
+TEST(FastPathEquivalenceTest, JournalCrashRecoveryAtEverySite)
+{
+    expectCrashEquivalent(SystemKind::Journal, "rand");
+}
+
+TEST(FastPathEquivalenceTest, ShadowCrashRecoveryAtEverySite)
+{
+    expectCrashEquivalent(SystemKind::Shadow, "rand");
 }
 
 } // namespace

@@ -4,8 +4,11 @@
  * view coherence, and workload snapshot semantics under checkpointing.
  */
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
+#include "fuzz/fuzzer.hh"
 #include "harness/system.hh"
 #include "workloads/kvstore.hh"
 #include "workloads/micro.hh"
@@ -186,6 +189,192 @@ TEST(HarnessTest, ExplicitPersistenceInterface)
     ctrl.requestEpochEnd();
     sys.run(5 * kMillisecond);
     EXPECT_GE(ctrl.completedEpochs(), 1u);
+}
+
+/** Read the full physical image through the functional view. */
+std::vector<std::uint8_t>
+fullImage(System& sys, std::size_t phys_size)
+{
+    std::vector<std::uint8_t> img(phys_size);
+    sys.functionalView()(0, img.data(), img.size());
+    return img;
+}
+
+/**
+ * Step the system into an armed crash plan and drain to the planned
+ * crash tick. @return false if the plan never fired.
+ */
+bool
+runToCrashPlan(System& sys, CrashPointRegistry& reg,
+               Tick extra = 200 * kMillisecond)
+{
+    EventQueue& eq = sys.eventq();
+    const Tick limit = eq.now() + extra;
+    while (!sys.finished() && !reg.fired() && !eq.empty() &&
+           eq.now() < limit) {
+        eq.step();
+    }
+    if (!reg.fired())
+        return false;
+    while (!eq.empty() && eq.nextTick() <= reg.crashTick())
+        eq.step();
+    return true;
+}
+
+/**
+ * Double crash: power fails again during the checkpoint pipeline of the
+ * *resumed* run — including the very first post-recovery checkpoint,
+ * both before and after its commit point. The third boot must recover
+ * a consistent lineage image: never older than the first recovery, and
+ * exactly base + stores(<R1) + resumed stores(<R2).
+ */
+TEST(HarnessTest, DoubleCrashDuringResumedCheckpoint)
+{
+    const fuzz::FuzzerConfig fc;
+    for (const char* second_site :
+         {"ckpt.pre_commit_header", "ckpt.committed"}) {
+        SCOPED_TRACE(second_site);
+
+        // Life 1: crash right as the second checkpoint commits.
+        CrashPointRegistry reg1;
+        reg1.arm("ckpt.committed", 2, 0);
+        MicroWorkload inner1(fuzz::microParams(fc, 1, "rand"));
+        fuzz::RecordingWorkload wl1(inner1);
+        SystemConfig cfg1 =
+            fuzz::makeSystemConfig(fc, SystemKind::ThyNvm, true);
+        cfg1.crash_points = &reg1;
+        System sys1(cfg1, wl1);
+        sys1.start();
+        std::vector<std::uint8_t> golden = fullImage(sys1, fc.phys_size);
+        ASSERT_TRUE(runToCrashPlan(sys1, reg1));
+        std::shared_ptr<BackingStore> nvm1 = sys1.crash();
+
+        // Life 2: recover, then crash again in the first checkpoint of
+        // the resumed execution.
+        CrashPointRegistry reg2;
+        reg2.arm(second_site, 1, 0);
+        MicroWorkload inner2(fuzz::microParams(fc, 1, "rand"));
+        fuzz::RecordingWorkload wl2(inner2);
+        SystemConfig cfg2 =
+            fuzz::makeSystemConfig(fc, SystemKind::ThyNvm, true);
+        cfg2.crash_points = &reg2;
+        System sys2(cfg2, wl2, std::move(nvm1));
+        sys2.recoverAndResume();
+        ASSERT_TRUE(wl2.wasRestored());
+        const std::uint64_t r1 = wl2.restoredCount();
+        ASSERT_GT(r1, 0u);
+        ASSERT_TRUE(runToCrashPlan(sys2, reg2));
+        std::shared_ptr<BackingStore> nvm2 = sys2.crash();
+
+        // Life 3: recover again and check the lineage.
+        MicroWorkload inner3(fuzz::microParams(fc, 1, "rand"));
+        fuzz::RecordingWorkload wl3(inner3);
+        SystemConfig cfg3 =
+            fuzz::makeSystemConfig(fc, SystemKind::ThyNvm, true);
+        System sys3(cfg3, wl3, std::move(nvm2));
+        sys3.recoverAndResume();
+        ASSERT_TRUE(wl3.wasRestored());
+        const std::uint64_t r2 = wl3.restoredCount();
+
+        // Monotone: a later crash never recovers to an older boundary.
+        EXPECT_GE(r2, r1);
+        if (std::string(second_site) == "ckpt.pre_commit_header") {
+            // The resumed checkpoint had not committed: the third boot
+            // lands exactly where the second one did.
+            EXPECT_EQ(r2, r1);
+        } else {
+            // It had committed: the restored count is one of the
+            // resumed run's own snapshots.
+            const auto& snaps = wl2.snapshotCounts();
+            EXPECT_NE(std::find(snaps.begin(), snaps.end(), r2),
+                      snaps.end());
+        }
+
+        fuzz::applyStores(golden, wl1.stores(), r1);
+        fuzz::applyStores(golden, wl2.stores(), r2);
+        EXPECT_TRUE(fullImage(sys3, fc.phys_size) == golden)
+            << "third boot recovered a torn or stale lineage image";
+
+        // And the lineage still runs to completion.
+        sys3.run(fc.run_limit);
+        ASSERT_TRUE(sys3.finished());
+        fuzz::applyStores(golden, wl3.stores(), ~0ull);
+        EXPECT_TRUE(fullImage(sys3, fc.phys_size) == golden);
+    }
+}
+
+/**
+ * recoverAndResume() must be idempotent on the same NVM image: two
+ * independent recoveries of the same crashed store agree byte for
+ * byte, and a recovery that itself loses power immediately leaves the
+ * store recoverable to the identical state. The journal baseline is
+ * the sharp case — its recovery *mutates* NVM (redo replay + applied
+ * marker) — but the contract holds for every system.
+ */
+TEST(HarnessTest, RecoveryIsIdempotentOnSameStore)
+{
+    const fuzz::FuzzerConfig fc;
+    struct Scenario
+    {
+        SystemKind kind;
+        const char* site;
+        std::uint64_t hit;
+    };
+    // Sites chosen mid-pipeline: ThyNVM mid-BTT-persist, journal after
+    // commit but before apply (forces the NVM-mutating replay path),
+    // shadow just before the slot flip.
+    const Scenario scenarios[] = {
+        {SystemKind::ThyNvm, "ckpt.persist_btt", 2},
+        {SystemKind::Journal, "ckpt.apply_block", 1},
+        {SystemKind::Shadow, "ckpt.pre_slot_flip", 2},
+    };
+
+    for (const Scenario& sc : scenarios) {
+        SCOPED_TRACE(systemKindName(sc.kind));
+
+        CrashPointRegistry reg;
+        reg.arm(sc.site, sc.hit, 0);
+        MicroWorkload inner1(fuzz::microParams(fc, 1, "rand"));
+        fuzz::RecordingWorkload wl1(inner1);
+        SystemConfig cfg = fuzz::makeSystemConfig(fc, sc.kind, true);
+        cfg.crash_points = &reg;
+        System sys1(cfg, wl1);
+        sys1.start();
+        ASSERT_TRUE(runToCrashPlan(sys1, reg));
+        std::shared_ptr<BackingStore> nvm = sys1.crash();
+        std::shared_ptr<BackingStore> nvm_copy = nvm->clone();
+
+        const SystemConfig plain =
+            fuzz::makeSystemConfig(fc, sc.kind, true);
+
+        // Two independent recoveries of the same crashed image.
+        MicroWorkload ia(fuzz::microParams(fc, 1, "rand"));
+        fuzz::RecordingWorkload wa(ia);
+        System sa(plain, wa, nvm);
+        sa.recoverAndResume();
+        const auto img_a = fullImage(sa, fc.phys_size);
+
+        MicroWorkload ib(fuzz::microParams(fc, 1, "rand"));
+        fuzz::RecordingWorkload wb(ib);
+        System sb(plain, wb, std::move(nvm_copy));
+        sb.recoverAndResume();
+        EXPECT_EQ(wa.restoredCount(), wb.restoredCount());
+        EXPECT_TRUE(fullImage(sb, fc.phys_size) == img_a)
+            << "independent recoveries of the same store diverge";
+        ASSERT_GT(wa.restoredCount(), 0u);
+
+        // Power fails again right after recovery completed: a third
+        // boot on what the first recovery wrote back must land in the
+        // identical state.
+        std::shared_ptr<BackingStore> nvm2 = sa.crash();
+        MicroWorkload ic(fuzz::microParams(fc, 1, "rand"));
+        fuzz::RecordingWorkload wc(ic);
+        System sys3(plain, wc, std::move(nvm2));
+        sys3.recoverAndResume();
+        EXPECT_EQ(wc.restoredCount(), wa.restoredCount());
+        EXPECT_TRUE(fullImage(sys3, fc.phys_size) == img_a)
+            << "re-recovery after a post-recovery crash diverged";
+    }
 }
 
 } // namespace

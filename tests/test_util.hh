@@ -7,6 +7,8 @@
 #define THYNVM_TESTS_TEST_UTIL_HH
 
 #include <array>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include <gtest/gtest.h>
@@ -56,6 +58,21 @@ loadBlock(EventQueue& eq, MemController& ctrl, Addr paddr)
                      TrafficSource::DemandRead, [&done] { done = true; });
     eq.runUntil([&done] { return done; });
     return data;
+}
+
+/**
+ * Seed for a randomized test. Never std::random_device: every failure
+ * must be replayable. The default is logged so a failing run can be
+ * reproduced, and THYNVM_TEST_SEED overrides it for sweeps.
+ */
+inline std::uint64_t
+loggedSeed(const char* name, std::uint64_t def)
+{
+    if (const char* env = std::getenv("THYNVM_TEST_SEED"))
+        def = std::strtoull(env, nullptr, 10);
+    std::printf("[   seed   ] %s = %llu (override with THYNVM_TEST_SEED)\n",
+                name, static_cast<unsigned long long>(def));
+    return def;
 }
 
 /** Run the queue until it is idle (drained) or @p limit is reached. */
