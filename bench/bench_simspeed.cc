@@ -3,28 +3,47 @@
  * Simulator-throughput tracker: how fast does the host execute the
  * discrete-event kernel itself?
  *
- * Replays the Figure 7 micro-benchmark cells single-threaded and
- * reports, per cell and in aggregate, kernel events per host second
- * and host seconds per simulated millisecond. Results are written as
- * machine-readable JSON to BENCH_simspeed.json (in the working
- * directory) so the performance trajectory of the simulation substrate
- * is tracked from PR to PR; EXPERIMENTS.md records the history.
+ * Two sections:
+ *
+ *  1. Per-cell serial baseline — replays the Figure 7 micro-benchmark
+ *     cells one at a time on one host thread and reports kernel events
+ *     per host second and host seconds per simulated millisecond.
+ *
+ *  2. Sharded-kernel thread sweep (--threads t1,t2,...; default
+ *     1,2,4,8) — runs the same cell set as one SystemGroup whose
+ *     shards are stepped by N worker threads, and cross-checks that
+ *     every cell finishes with the identical final tick and event
+ *     count as its solo serial run (the determinism contract of
+ *     DESIGN.md §8), while measuring wall-clock scaling.
+ *
+ * Results are written as machine-readable JSON to BENCH_simspeed.json
+ * (in the working directory) so the performance trajectory of the
+ * simulation substrate is tracked from PR to PR; EXPERIMENTS.md records
+ * the history.
  *
  * This binary deliberately ignores THYNVM_BENCH_THREADS: host-side
- * parallelism would perturb the per-run timing it exists to measure.
+ * fan-out would perturb the per-run timing it exists to measure. The
+ * only parallelism here is the sharded kernel under test.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.hh"
+#include "harness/shard_group.hh"
 
 namespace {
 
 using namespace thynvm;
 using namespace thynvm::bench;
+
+using Clock = std::chrono::steady_clock;
 
 const char*
 patternName(MicroWorkload::Pattern p)
@@ -45,14 +64,12 @@ struct SpeedResult
     double sim_ms = 0.0;
     double events_per_sec = 0.0;
     double host_sec_per_sim_ms = 0.0;
+    Tick final_tick = 0;
 };
 
-SpeedResult
-measure(SystemKind kind, MicroWorkload::Pattern pattern)
+MicroWorkload::Params
+cellParams(MicroWorkload::Pattern pattern)
 {
-    using Clock = std::chrono::steady_clock;
-
-    const SystemConfig cfg = paperSystem(kind);
     const MicroScale scale = microScale(pattern);
     MicroWorkload::Params mp;
     mp.pattern = pattern;
@@ -62,12 +79,19 @@ measure(SystemKind kind, MicroWorkload::Pattern pattern)
     mp.read_fraction = 0.5;
     mp.total_accesses = scale.accesses;
     mp.seed = 1;
-    MicroWorkload wl(mp);
+    return mp;
+}
+
+SpeedResult
+measure(SystemKind kind, MicroWorkload::Pattern pattern)
+{
+    const SystemConfig cfg = paperSystem(kind);
+    MicroWorkload wl(cellParams(pattern));
     System sys(cfg, wl);
 
     const auto t0 = Clock::now();
     sys.start();
-    sys.run(60 * kSecond);
+    const Tick end = sys.run(60 * kSecond);
     const double host =
         std::chrono::duration<double>(Clock::now() - t0).count();
     fatal_if(!sys.finished(), "simspeed run did not complete");
@@ -82,14 +106,98 @@ measure(SystemKind kind, MicroWorkload::Pattern pattern)
     r.events_per_sec =
         host > 0.0 ? static_cast<double>(r.events) / host : 0.0;
     r.host_sec_per_sim_ms = r.sim_ms > 0.0 ? host / r.sim_ms : 0.0;
+    r.final_tick = end;
+    return r;
+}
+
+/** One sweep point: the full cell set as a sharded group. */
+struct SweepResult
+{
+    unsigned threads = 0;
+    std::uint64_t events = 0;
+    double host_seconds = 0.0;
+    double events_per_sec = 0.0;
+    double speedup = 1.0;
+    std::uint64_t windows = 0;
+};
+
+SweepResult
+measureGroup(unsigned threads,
+             const std::vector<SpeedResult>& serial_cells)
+{
+    const std::vector<MicroWorkload::Pattern> patterns = {
+        MicroWorkload::Pattern::Random,
+        MicroWorkload::Pattern::Streaming,
+        MicroWorkload::Pattern::Sliding,
+    };
+
+    std::vector<std::unique_ptr<MicroWorkload>> wls;
+    std::vector<std::unique_ptr<System>> systems;
+    SystemGroup group;
+    for (auto pattern : patterns) {
+        for (auto kind : allSystems()) {
+            wls.push_back(
+                std::make_unique<MicroWorkload>(cellParams(pattern)));
+            systems.push_back(std::make_unique<System>(
+                paperSystem(kind), *wls.back()));
+        }
+    }
+
+    const auto t0 = Clock::now();
+    for (auto& sys : systems) {
+        sys->start();
+        group.add(*sys);
+    }
+    group.run(threads, 60 * kSecond);
+    const double host =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    SweepResult r;
+    r.threads = threads;
+    r.host_seconds = host;
+    r.windows = group.windowsExecuted();
+    for (std::size_t i = 0; i < systems.size(); ++i) {
+        fatal_if(!systems[i]->finished(),
+                 "sharded cell did not complete");
+        const std::uint64_t ev = systems[i]->eventq().eventsExecuted();
+        // Determinism contract: every shard replays exactly the serial
+        // event sequence, whatever the worker count.
+        fatal_if(ev != serial_cells[i].events,
+                 "sharded run diverged from serial: cell %s events "
+                 "%llu != %llu",
+                 serial_cells[i].label.c_str(),
+                 static_cast<unsigned long long>(ev),
+                 static_cast<unsigned long long>(
+                     serial_cells[i].events));
+        r.events += ev;
+    }
+    r.events_per_sec =
+        host > 0.0 ? static_cast<double>(r.events) / host : 0.0;
     return r;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    std::vector<unsigned> sweep_threads = {1, 2, 4, 8};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            sweep_threads.clear();
+            for (const char* p = argv[++i]; *p != '\0';) {
+                char* end = nullptr;
+                sweep_threads.push_back(static_cast<unsigned>(
+                    std::strtoul(p, &end, 10)));
+                p = (*end == ',') ? end + 1 : end;
+            }
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--threads t1,t2,...]\n", argv[0]);
+            return 2;
+        }
+    }
+
     const std::vector<MicroWorkload::Pattern> patterns = {
         MicroWorkload::Pattern::Random,
         MicroWorkload::Pattern::Streaming,
@@ -128,6 +236,25 @@ main()
                 static_cast<unsigned long long>(total_events), total_host,
                 agg_eps, agg_spms);
 
+    const unsigned host_threads = std::thread::hardware_concurrency();
+    heading("Sharded kernel: same cells as one group, worker sweep");
+    std::printf("host hardware threads: %u\n\n", host_threads);
+    std::printf("%-8s %14s %10s %14s %10s %10s\n", "threads", "events",
+                "host_s", "events/s", "speedup", "windows");
+
+    std::vector<SweepResult> sweep;
+    for (unsigned threads : sweep_threads) {
+        SweepResult s = measureGroup(threads, results);
+        if (!sweep.empty() && sweep.front().host_seconds > 0.0)
+            s.speedup = sweep.front().host_seconds / s.host_seconds;
+        std::printf("%-8u %14llu %10.2f %14.0f %9.2fx %10llu\n",
+                    s.threads,
+                    static_cast<unsigned long long>(s.events),
+                    s.host_seconds, s.events_per_sec, s.speedup,
+                    static_cast<unsigned long long>(s.windows));
+        sweep.push_back(s);
+    }
+
     FILE* f = std::fopen("BENCH_simspeed.json", "w");
     if (f == nullptr) {
         std::fprintf(stderr, "cannot write BENCH_simspeed.json\n");
@@ -135,12 +262,26 @@ main()
     }
     std::fprintf(f, "{\n  \"benchmark\": \"simspeed\",\n");
     std::fprintf(f, "  \"workload\": \"fig7_micro\",\n");
-    std::fprintf(f, "  \"threads\": 1,\n");
+    std::fprintf(f, "  \"host_threads\": %u,\n", host_threads);
     std::fprintf(f, "  \"total\": {\"events\": %llu, \"host_seconds\": "
                     "%.3f, \"events_per_sec\": %.0f, "
                     "\"host_sec_per_sim_ms\": %.5f},\n",
                  static_cast<unsigned long long>(total_events),
                  total_host, agg_eps, agg_spms);
+    std::fprintf(f, "  \"thread_sweep\": [\n");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        const SweepResult& s = sweep[i];
+        std::fprintf(f,
+                     "    {\"threads\": %u, \"events\": %llu, "
+                     "\"host_seconds\": %.3f, \"events_per_sec\": "
+                     "%.0f, \"speedup\": %.3f, \"windows\": %llu}%s\n",
+                     s.threads,
+                     static_cast<unsigned long long>(s.events),
+                     s.host_seconds, s.events_per_sec, s.speedup,
+                     static_cast<unsigned long long>(s.windows),
+                     i + 1 == sweep.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"cells\": [\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
         const SpeedResult& r = results[i];

@@ -1,16 +1,42 @@
 /**
  * @file
- * Minimal host-side threading helpers for the benchmark harness.
+ * Host-side threading primitives shared by the benchmark fan-out and
+ * the sharded simulation kernel.
  *
- * Simulation itself is single-threaded by design (one EventQueue per
- * System, stepped by one thread); these helpers fan *independent*
- * System runs across host hardware threads. Nothing here is used on a
- * simulated timing path.
+ * Two kinds of host parallelism coexist in this codebase, and both are
+ * built from the helpers here:
+ *
+ *  1. *Fan-out* of independent simulations (benchmark grid cells, fuzz
+ *     campaign cases): each System owns a private EventQueue and every
+ *     piece of mutable state it touches, so whole runs are distributed
+ *     across a ThreadPool with no synchronization beyond job handoff
+ *     (see bench_util.hh runGrid and fuzz::runCampaign).
+ *
+ *  2. *Sharded stepping* of one joint simulation (sim/shard.hh): each
+ *     shard owns an EventQueue stepped by exactly one worker inside a
+ *     conservative lookahead window; workers rendezvous on a barrier at
+ *     window edges, where cross-shard mailboxes (SpscRing) are drained
+ *     in a fixed order. The shard-worker contract is:
+ *
+ *       - between barriers, a worker touches only state owned by the
+ *         shards assigned to it (components are tagged with a shard
+ *         affinity, SimObject::shard());
+ *       - cross-shard communication goes through SpscRing mailboxes
+ *         posted during a window and drained after the next barrier;
+ *       - the barrier provides the happens-before edge that lets the
+ *         coordinator read every shard's queue state race-free.
+ *
+ * Both substrates share the same ThreadPool, so a process never needs
+ * more than one set of worker threads. Event delivery order inside a
+ * shard is independent of worker scheduling, which is what makes
+ * simulation results byte-identical for any thread count.
  */
 
 #ifndef THYNVM_COMMON_PARALLEL_HH
 #define THYNVM_COMMON_PARALLEL_HH
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -18,6 +44,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/logging.hh"
 
 namespace thynvm {
 
@@ -95,12 +123,206 @@ class ThreadPool
     bool stopping_ = false;
 };
 
+/**
+ * One-shot countdown: arrive() decrements, wait() blocks until zero.
+ *
+ * The wait() return provides a happens-before edge from every arrive()
+ * — the shard kernel relies on this to read worker-written queue state
+ * race-free after a stepping round.
+ */
+class CountdownLatch
+{
+  public:
+    explicit CountdownLatch(std::size_t count) : count_(count) {}
+
+    CountdownLatch(const CountdownLatch&) = delete;
+    CountdownLatch& operator=(const CountdownLatch&) = delete;
+
+    /** Signal one arrival. */
+    void
+    arrive()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        panic_if(count_ == 0, "latch arrive() past zero");
+        if (--count_ == 0)
+            cv_.notify_all();
+    }
+
+    /** Block until the count reaches zero. */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return count_ == 0; });
+    }
+
+  private:
+    std::size_t count_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+};
+
+/**
+ * Reusable rendezvous for a fixed party count. The generation counter
+ * makes consecutive waits independent, so the same Barrier instance
+ * serves every window edge of a sharded run.
+ */
+class Barrier
+{
+  public:
+    explicit Barrier(std::size_t parties) : parties_(parties) {}
+
+    Barrier(const Barrier&) = delete;
+    Barrier& operator=(const Barrier&) = delete;
+
+    /** Block until all parties have arrived at this generation. */
+    void
+    arriveAndWait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        const std::uint64_t gen = generation_;
+        if (++arrived_ == parties_) {
+            arrived_ = 0;
+            ++generation_;
+            cv_.notify_all();
+            return;
+        }
+        cv_.wait(lock, [this, gen] { return generation_ != gen; });
+    }
+
+  private:
+    std::size_t parties_;
+    std::size_t arrived_ = 0;
+    std::uint64_t generation_ = 0;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+};
+
+/**
+ * Bounded single-producer/single-consumer ring buffer.
+ *
+ * Lock-free: the producer writes `tail`, the consumer writes `head`,
+ * and each reads the other's index with acquire/release ordering. Used
+ * as the cross-shard mailbox: the sending shard's worker is the only
+ * producer, and the window-edge coordinator (after the barrier) is the
+ * only consumer.
+ */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity maximum queued items (rounded up to a power of 2). */
+    explicit SpscRing(std::size_t capacity = 1024)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        slots_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    SpscRing(const SpscRing&) = delete;
+    SpscRing& operator=(const SpscRing&) = delete;
+
+    /** Producer side: enqueue. @return false if the ring is full. */
+    bool
+    push(T&& item)
+    {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        if (tail - head > mask_)
+            return false; // full
+        slots_[tail & mask_] = std::move(item);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: dequeue into @p out. @return false if empty. */
+    bool
+    pop(T& out)
+    {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        if (head == tail)
+            return false; // empty
+        out = std::move(slots_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Items currently queued (exact only when producer/consumer idle). */
+    std::size_t
+    size() const
+    {
+        return tail_.load(std::memory_order_acquire) -
+               head_.load(std::memory_order_acquire);
+    }
+
+    /** True if no items are queued. */
+    bool empty() const { return size() == 0; }
+
+    /** Capacity after power-of-two rounding. */
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    std::atomic<std::size_t> head_{0};
+    std::atomic<std::size_t> tail_{0};
+};
+
 /** Host hardware concurrency, clamped to at least one. */
 inline unsigned
 hardwareThreads()
 {
     const unsigned n = std::thread::hardware_concurrency();
     return n == 0 ? 1 : n;
+}
+
+/**
+ * Worker-thread count for a single sharded simulation: the
+ * THYNVM_SIM_THREADS environment variable if set (>= 1), else 0
+ * meaning "serial" — parallel stepping is strictly opt-in.
+ */
+inline unsigned
+simThreadsFromEnv()
+{
+    if (const char* env = std::getenv("THYNVM_SIM_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    return 0;
+}
+
+/**
+ * Run @p fn(i) for every i in [0, n) on @p pool, blocking until all
+ * indices finish. The first exception thrown by any call is rethrown
+ * to the caller after all indices finish.
+ */
+template <typename Fn>
+void
+parallelForOn(ThreadPool& pool, std::size_t n, Fn&& fn)
+{
+    if (n == 0)
+        return;
+    std::vector<std::exception_ptr> errors(n);
+    CountdownLatch latch(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&fn, &errors, &latch, i] {
+            try {
+                fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+            latch.arrive();
+        });
+    }
+    latch.wait();
+    for (auto& e : errors) {
+        if (e)
+            std::rethrow_exception(e);
+    }
 }
 
 /**
@@ -119,25 +341,9 @@ parallelFor(std::size_t n, Fn&& fn, unsigned threads)
             fn(i);
         return;
     }
-
-    std::vector<std::exception_ptr> errors(n);
-    {
-        ThreadPool pool(
-            static_cast<unsigned>(std::min<std::size_t>(threads, n)));
-        for (std::size_t i = 0; i < n; ++i) {
-            pool.submit([&fn, &errors, i] {
-                try {
-                    fn(i);
-                } catch (...) {
-                    errors[i] = std::current_exception();
-                }
-            });
-        }
-    } // pool destructor drains the queue and joins
-    for (auto& e : errors) {
-        if (e)
-            std::rethrow_exception(e);
-    }
+    ThreadPool pool(
+        static_cast<unsigned>(std::min<std::size_t>(threads, n)));
+    parallelForOn(pool, n, std::forward<Fn>(fn));
 }
 
 } // namespace thynvm

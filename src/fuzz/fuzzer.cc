@@ -10,6 +10,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/parallel.hh"
+
 namespace thynvm {
 namespace fuzz {
 
@@ -369,7 +371,7 @@ enumerateSites(const FuzzerConfig& fc, std::uint64_t seed,
 
 CampaignResult
 runCampaign(const FuzzerConfig& fc, const CampaignOptions& opts,
-            std::ostream* log)
+            std::ostream* log, unsigned threads)
 {
     CampaignResult result;
     std::vector<bool> fp_modes;
@@ -377,52 +379,90 @@ runCampaign(const FuzzerConfig& fc, const CampaignOptions& opts,
     if (opts.both_fast_path_modes)
         fp_modes.push_back(false);
 
+    // Phase 1: the (seed, workload, system, mode) combos, in the
+    // nested order the serial campaign has always used.
+    struct Combo
+    {
+        std::uint64_t seed;
+        std::string workload;
+        SystemKind kind;
+        bool fp;
+    };
+    std::vector<Combo> combos;
     for (std::uint64_t seed : opts.seeds) {
         for (const std::string& workload : opts.workloads) {
             for (SystemKind kind : opts.systems) {
-                for (bool fp : fp_modes) {
-                    const auto sites =
-                        enumerateSites(fc, seed, workload, kind, fp);
-                    auto& reached =
-                        result.sites_by_system[systemToken(kind)];
-                    for (const auto& [site, hits] : sites) {
-                        reached.insert(site);
-                        std::vector<std::uint64_t> hit_plan = {hits};
-                        if (opts.first_and_last_hit && hits > 1)
-                            hit_plan.push_back(1);
-                        for (std::uint64_t hit : hit_plan) {
-                            for (Tick delta : opts.deltas) {
-                                FuzzCase c;
-                                c.seed = seed;
-                                c.workload = workload;
-                                c.system = kind;
-                                c.site = site;
-                                c.hit = hit;
-                                c.delta = delta;
-                                c.fast_path = fp;
-                                CaseResult r = runCrashCase(fc, c);
-                                ++result.cases;
-                                if (r.status == CaseStatus::NotReached) {
-                                    ++result.not_reached;
-                                } else if (r.status ==
-                                           CaseStatus::Violation) {
-                                    if (log) {
-                                        *log << "VIOLATION " << r.repro
-                                             << "\n  " << r.detail
-                                             << "\n";
-                                    }
-                                    // Images are only needed by callers
-                                    // replaying a single case.
-                                    r.recovered_image.clear();
-                                    r.final_image.clear();
-                                    result.violations.push_back(
-                                        std::move(r));
-                                }
-                            }
-                        }
-                    }
+                for (bool fp : fp_modes)
+                    combos.push_back(Combo{seed, workload, kind, fp});
+            }
+        }
+    }
+
+    // Phase 2: profile runs enumerate each combo's crash sites. Every
+    // run owns its System outright, so combos fan across threads; the
+    // per-combo result is deterministic, so the fan-out is too.
+    std::vector<std::map<std::string, std::uint64_t>> sites(
+        combos.size());
+    parallelFor(
+        combos.size(),
+        [&](std::size_t i) {
+            const Combo& co = combos[i];
+            sites[i] = enumerateSites(fc, co.seed, co.workload, co.kind,
+                                      co.fp);
+        },
+        threads);
+
+    // Phase 3: flatten the crash plan, again in the serial order. The
+    // plan — and with it every repro string — is a pure function of
+    // the options, independent of the thread count.
+    std::vector<FuzzCase> plan;
+    for (std::size_t i = 0; i < combos.size(); ++i) {
+        const Combo& co = combos[i];
+        auto& reached = result.sites_by_system[systemToken(co.kind)];
+        for (const auto& [site, hits] : sites[i]) {
+            reached.insert(site);
+            std::vector<std::uint64_t> hit_plan = {hits};
+            if (opts.first_and_last_hit && hits > 1)
+                hit_plan.push_back(1);
+            for (std::uint64_t hit : hit_plan) {
+                for (Tick delta : opts.deltas) {
+                    FuzzCase c;
+                    c.seed = co.seed;
+                    c.workload = co.workload;
+                    c.system = co.kind;
+                    c.site = site;
+                    c.hit = hit;
+                    c.delta = delta;
+                    c.fast_path = co.fp;
+                    plan.push_back(std::move(c));
                 }
             }
+        }
+    }
+
+    // Phase 4: run the crash cases, fanned across threads.
+    std::vector<CaseResult> case_results(plan.size());
+    parallelFor(
+        plan.size(),
+        [&](std::size_t i) { case_results[i] = runCrashCase(fc, plan[i]); },
+        threads);
+
+    // Phase 5: aggregate in plan order, so the summary, the violation
+    // list, and the log stream are identical for any thread count.
+    for (CaseResult& r : case_results) {
+        ++result.cases;
+        result.repros.push_back(r.repro);
+        if (r.status == CaseStatus::NotReached) {
+            ++result.not_reached;
+        } else if (r.status == CaseStatus::Violation) {
+            if (log) {
+                *log << "VIOLATION " << r.repro << "\n  " << r.detail
+                     << "\n";
+            }
+            // Images are only needed by callers replaying a single case.
+            r.recovered_image.clear();
+            r.final_image.clear();
+            result.violations.push_back(std::move(r));
         }
     }
     return result;

@@ -240,16 +240,28 @@ struct CampaignResult
     std::vector<CaseResult> violations;
     /** Distinct crash-site names reached, per system token. */
     std::map<std::string, std::set<std::string>> sites_by_system;
+    /**
+     * Repro string of every planned case, in plan order. The plan is a
+     * pure function of the options, so this list is invariant across
+     * host thread counts — pinned by crash_repro_test.
+     */
+    std::vector<std::string> repros;
 };
 
 /**
  * Run a full campaign: enumerate sites per (seed, workload, system,
  * mode), then crash at each planned (site, hit, delta). Violations are
- * printed to @p log (if non-null) as they are found, one repro string
- * per line.
+ * printed to @p log (if non-null) in plan order, one repro string per
+ * line.
+ *
+ * @param threads fan cases across this many host workers (each case
+ *        owns its Systems outright). The campaign result — counts,
+ *        violation list, site map, repro strings, log stream — is
+ *        byte-identical for any thread count.
  */
 CampaignResult runCampaign(const FuzzerConfig& fc,
-                           const CampaignOptions& opts, std::ostream* log);
+                           const CampaignOptions& opts, std::ostream* log,
+                           unsigned threads = 1);
 
 } // namespace fuzz
 } // namespace thynvm

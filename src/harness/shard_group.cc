@@ -1,0 +1,51 @@
+/**
+ * @file
+ * SystemGroup implementation.
+ */
+
+#include "harness/shard_group.hh"
+
+#include <algorithm>
+
+namespace thynvm {
+
+unsigned
+SystemGroup::add(System& sys)
+{
+    const unsigned id = static_cast<unsigned>(systems_.size());
+    systems_.push_back(&sys);
+    sys.setShard(id);
+    return id;
+}
+
+Tick
+SystemGroup::run(unsigned threads, Tick limit, ThreadPool* pool)
+{
+    if (systems_.empty())
+        return 0;
+
+    // The kernel references the systems directly; build it per run so
+    // a group can be re-run (e.g., after adding more systems).
+    ShardedKernel kernel;
+    for (System* sys : systems_) {
+        kernel.addShard(sys->controller().name(), sys->eventq(),
+                        [sys, limit](Tick window_end) {
+                            return sys->stepWindow(window_end, limit);
+                        });
+    }
+
+    // Checkpoint-epoch boundaries are global barriers: align windows
+    // to the smallest epoch so no shard starts epoch k+1 before every
+    // shard has finished epoch k.
+    Tick period = kMaxTick;
+    for (const System* sys : systems_)
+        period = std::min(period, sys->config().epoch_length);
+    if (period != 0 && period != kMaxTick)
+        kernel.setBarrierPeriod(period);
+
+    const Tick last = kernel.run(threads, pool);
+    windows_ = kernel.windowsExecuted();
+    return last;
+}
+
+} // namespace thynvm

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Joint deterministic simulation of several Systems on the sharded
+ * event kernel (sim/shard.hh, DESIGN.md §8).
+ *
+ * Each System occupies one shard: the machine is a single memory
+ * channel today, and every component of a channel (CPU, caches,
+ * controller, devices) exchanges same-tick calls, so the channel is
+ * the unit of shard affinity. A SystemGroup co-schedules N such
+ * shards across host worker threads with checkpoint-epoch boundaries
+ * as global barriers, and guarantees that every System executes
+ * exactly the event sequence of its solo serial run — dumpStats()
+ * output and final ticks are byte-identical for any thread count.
+ *
+ * This is the host-parallelism substrate for the fuzz campaign, the
+ * benchmark grids, and the THYNVM_SIM_THREADS escape hatch; when the
+ * multi-channel topology lands, channels of one machine become
+ * multiple shards of one System here, linked with the minimum
+ * cross-channel device latency as lookahead.
+ */
+
+#ifndef THYNVM_HARNESS_SHARD_GROUP_HH
+#define THYNVM_HARNESS_SHARD_GROUP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/system.hh"
+#include "sim/shard.hh"
+
+namespace thynvm {
+
+/**
+ * A set of Systems stepped together on the sharded kernel.
+ */
+class SystemGroup
+{
+  public:
+    SystemGroup() = default;
+    SystemGroup(const SystemGroup&) = delete;
+    SystemGroup& operator=(const SystemGroup&) = delete;
+
+    /**
+     * Add a system (not owned; must outlive the group). Tags every
+     * component of the system with its shard id.
+     * @return the shard id.
+     */
+    unsigned add(System& sys);
+
+    /**
+     * Run every system until it finishes, its queue drains, or
+     * @p limit is reached (same per-system semantics as System::run
+     * with an absolute limit). Windows are aligned to the smallest
+     * configured epoch length so checkpoint-epoch boundaries are
+     * global barriers.
+     *
+     * @param threads worker count; 1 is the serial reference
+     *        schedule, and any count produces byte-identical
+     *        per-system stats.
+     * @param limit absolute tick bound per system (kMaxTick: none).
+     * @param pool optional shared ThreadPool for the workers.
+     * @return the latest tick reached by any system.
+     */
+    Tick run(unsigned threads, Tick limit = kMaxTick,
+             ThreadPool* pool = nullptr);
+
+    /** Number of systems added. */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(systems_.size());
+    }
+
+    /** Windows executed by the last run(). */
+    std::uint64_t windowsExecuted() const { return windows_; }
+
+  private:
+    std::vector<System*> systems_;
+    std::uint64_t windows_ = 0;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_HARNESS_SHARD_GROUP_HH

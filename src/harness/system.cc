@@ -9,6 +9,9 @@
 #include <cstring>
 #include <ostream>
 
+#include "common/parallel.hh"
+#include "harness/shard_group.hh"
+
 namespace thynvm {
 
 const char*
@@ -170,9 +173,45 @@ System::run(Tick duration)
 {
     const Tick limit =
         duration == kMaxTick ? kMaxTick : eq_.now() + duration;
+    const unsigned threads = simThreads();
+    if (threads > 1) {
+        SystemGroup group;
+        group.add(*this);
+        group.run(threads, limit);
+        return eq_.now();
+    }
     while (!cpu_->finished() && eq_.now() < limit && !eq_.empty())
         eq_.step();
     return eq_.now();
+}
+
+bool
+System::stepWindow(Tick window_end, Tick limit)
+{
+    while (!cpu_->finished() && eq_.now() < limit && !eq_.empty() &&
+           eq_.nextTick() < window_end)
+        eq_.step();
+    return !cpu_->finished() && eq_.now() < limit && !eq_.empty();
+}
+
+void
+System::setShard(unsigned shard)
+{
+    cpu_->setShard(shard);
+    if (cfg_.use_caches) {
+        l1_->setShard(shard);
+        l2_->setShard(shard);
+        l3_->setShard(shard);
+    }
+    controller_->setShard(shard); // propagates to its devices
+}
+
+unsigned
+System::simThreads() const
+{
+    const unsigned threads = cfg_.sim_threads != 0 ? cfg_.sim_threads
+                                                   : simThreadsFromEnv();
+    return threads == 0 ? 1 : threads;
 }
 
 std::shared_ptr<BackingStore>

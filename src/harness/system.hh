@@ -51,6 +51,16 @@ struct SystemConfig
     /** Include the 3-level cache hierarchy (Table 2). */
     bool use_caches = true;
 
+    /**
+     * Worker threads for the sharded event kernel when this system is
+     * run standalone: 0 defers to the THYNVM_SIM_THREADS environment
+     * variable (unset = serial), 1 forces the serial stepping loop,
+     * >1 steps the system's shards on a worker pool in conservative
+     * windows (sim/shard.hh). Any value produces byte-identical stats;
+     * this is the escape hatch back to serial if it ever does not.
+     */
+    unsigned sim_threads = 0;
+
     /** ThyNVM-specific knobs (phys_size/epoch_length are copied in). */
     ThyNvmConfig thynvm;
 
@@ -112,8 +122,32 @@ class System
     /**
      * Advance simulation until the workload finishes or @p duration
      * ticks elapse. @return current tick.
+     *
+     * With an effective sim-thread count above one (sim_threads /
+     * THYNVM_SIM_THREADS), the run is executed on the sharded kernel
+     * via a single-system SystemGroup; event order and stats are
+     * byte-identical to the serial loop.
      */
     Tick run(Tick duration = kMaxTick);
+
+    /**
+     * Step this system inside one kernel window: execute events with
+     * tick strictly below @p window_end, stopping early when the
+     * workload finishes, the queue drains, or @p limit is passed —
+     * exactly the serial run() loop, bounded by the window.
+     * @return true if the system can still make progress.
+     */
+    bool stepWindow(Tick window_end, Tick limit);
+
+    /**
+     * Tag every component of this system with a kernel shard id. The
+     * whole single-channel machine is one shard: all its components
+     * exchange same-tick calls.
+     */
+    void setShard(unsigned shard);
+
+    /** Effective sharded-kernel worker count for standalone runs. */
+    unsigned simThreads() const;
 
     /** True once the workload finished. */
     bool finished() const { return cpu_->finished(); }

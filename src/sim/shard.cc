@@ -1,0 +1,163 @@
+/**
+ * @file
+ * ShardedKernel implementation.
+ */
+
+#include "sim/shard.hh"
+
+#include <algorithm>
+
+namespace thynvm {
+
+unsigned
+ShardedKernel::addShard(std::string name, EventQueue& eq, StepFn step)
+{
+    Shard s;
+    s.name = std::move(name);
+    s.eq = &eq;
+    s.step = std::move(step);
+    shards_.push_back(std::move(s));
+    return static_cast<unsigned>(shards_.size() - 1);
+}
+
+unsigned
+ShardedKernel::addShard(std::string name, EventQueue& eq)
+{
+    EventQueue* q = &eq;
+    return addShard(std::move(name), eq, [q](Tick window_end) {
+        while (!q->empty() && q->nextTick() < window_end)
+            q->step();
+        return !q->empty();
+    });
+}
+
+void
+ShardedKernel::link(unsigned from, unsigned to, Tick lookahead)
+{
+    panic_if(from >= shards_.size() || to >= shards_.size(),
+             "link endpoint out of range");
+    panic_if(from == to, "a shard cannot link to itself");
+    panic_if(lookahead == 0,
+             "zero-lookahead links admit no conservative window");
+    Link l;
+    l.from = from;
+    l.to = to;
+    l.lookahead = lookahead;
+    l.mailbox = std::make_unique<SpscRing<Message>>(4096);
+    links_.push_back(std::move(l));
+}
+
+void
+ShardedKernel::post(unsigned from, unsigned to, Tick when,
+                    std::function<void()> fn)
+{
+    for (auto& l : links_) {
+        if (l.from != from || l.to != to)
+            continue;
+        panic_if(when < window_end_,
+                 "conservative violation: message for tick %llu posted "
+                 "inside window ending at %llu",
+                 static_cast<unsigned long long>(when),
+                 static_cast<unsigned long long>(window_end_));
+        Message m;
+        m.when = when;
+        m.fn = std::move(fn);
+        panic_if(!l.mailbox->push(std::move(m)),
+                 "mailbox %u->%u overflow (capacity %zu)", from, to,
+                 l.mailbox->capacity());
+        return;
+    }
+    panic("post over undeclared link %u->%u", from, to);
+}
+
+Tick
+ShardedKernel::earliestPending() const
+{
+    Tick t = kMaxTick;
+    for (const auto& s : shards_) {
+        if (s.runnable)
+            t = std::min(t, s.eq->nextTick());
+    }
+    return t;
+}
+
+void
+ShardedKernel::drainMailboxes()
+{
+    for (auto& l : links_) {
+        Message m;
+        while (l.mailbox->pop(m)) {
+            Shard& target = shards_[l.to];
+            // std::function captures fit EventQueue's inline callable.
+            target.eq->schedule(m.when,
+                                [fn = std::move(m.fn)] { fn(); });
+            target.runnable = true;
+            ++messages_;
+        }
+    }
+}
+
+Tick
+ShardedKernel::run(unsigned threads, ThreadPool* pool)
+{
+    windows_ = 0;
+    messages_ = 0;
+
+    // Window size: the smallest declared cross-shard lookahead.
+    Tick lookahead = kMaxTick;
+    for (const auto& l : links_)
+        lookahead = std::min(lookahead, l.lookahead);
+
+    std::unique_ptr<ThreadPool> owned;
+    if (threads > 1 && pool == nullptr) {
+        owned = std::make_unique<ThreadPool>(
+            std::min<unsigned>(threads, shardCount()));
+        pool = owned.get();
+    }
+
+    for (;;) {
+        const Tick t = earliestPending();
+        if (t == kMaxTick)
+            break;
+
+        // Window end: lookahead-limited, clamped to the next global
+        // barrier-period edge (checkpoint-epoch boundary).
+        Tick wend = lookahead == kMaxTick || t > kMaxTick - lookahead
+                        ? kMaxTick
+                        : t + lookahead;
+        if (barrier_period_ != 0) {
+            const Tick edge = (t / barrier_period_ + 1) * barrier_period_;
+            wend = std::min(wend, edge);
+        }
+        window_end_ = wend;
+
+        // Step every shard with work below the window edge. Each shard
+        // is touched by exactly one worker; the latch inside
+        // parallelForOn is the barrier that makes worker-written shard
+        // state visible to this coordinator thread.
+        if (threads <= 1) {
+            for (auto& s : shards_) {
+                if (s.runnable && s.eq->nextTick() < wend)
+                    s.runnable = s.step(wend);
+            }
+        } else {
+            parallelForOn(*pool, shards_.size(), [this, wend](size_t i) {
+                Shard& s = shards_[i];
+                if (s.runnable && s.eq->nextTick() < wend)
+                    s.runnable = s.step(wend);
+            });
+        }
+        ++windows_;
+
+        // Window edge: deliver cross-shard traffic in fixed link order.
+        window_end_ = kMaxTick;
+        drainMailboxes();
+    }
+
+    Tick latest = 0;
+    for (const auto& s : shards_)
+        latest = std::max(latest, s.eq->now());
+    return latest;
+}
+
+} // namespace thynvm

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Deterministic sharded event kernel (DESIGN.md §8).
+ *
+ * A ShardedKernel steps several EventQueues — shards — concurrently
+ * while guaranteeing that every shard executes exactly the event
+ * sequence it would execute under serial, single-queue simulation.
+ * Simulation statistics are therefore byte-identical for any worker
+ * thread count, including one.
+ *
+ * The scheme is classic conservative parallel discrete-event
+ * simulation:
+ *
+ *  - Time is cut into windows [T, T+W). W is the minimum *lookahead*
+ *    over all declared cross-shard links — the smallest simulated
+ *    latency any message from one shard to another can have (for the
+ *    memory system, the minimum cross-shard device latency). Within a
+ *    window, each shard's queue is stepped by exactly one worker with
+ *    no synchronization at all: no event another shard could send can
+ *    land inside the window currently being stepped.
+ *
+ *  - Cross-shard traffic is posted into bounded SPSC mailboxes, one
+ *    per (from, to) link. At the window edge every worker rendezvous
+ *    on a barrier; the coordinator then drains all mailboxes in fixed
+ *    (from, to) order into the target queues before opening the next
+ *    window. Delivery order — and therefore every downstream stat —
+ *    is a pure function of simulated time, never of host scheduling.
+ *
+ *  - Window edges are additionally clamped to a *barrier period* so
+ *    that globally coordinated phases (the checkpoint-epoch
+ *    boundaries of the ThyNVM protocol) are global barriers: no shard
+ *    enters epoch k+1 until every shard has finished epoch k.
+ *
+ * Shards with no links between them (today: independent Systems
+ * co-scheduled by harness/shard_group.hh) have infinite lookahead and
+ * synchronize only at barrier-period edges.
+ */
+
+#ifndef THYNVM_SIM_SHARD_HH
+#define THYNVM_SIM_SHARD_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "sim/eventq.hh"
+
+namespace thynvm {
+
+/**
+ * Conservative windowed scheduler over a set of event-queue shards.
+ */
+class ShardedKernel
+{
+  public:
+    /**
+     * Steps one shard inside a window: run shard-local work with tick
+     * strictly below @p window_end. Returns true if the shard may
+     * still make progress (its queue is non-empty and its run
+     * condition still holds).
+     */
+    using StepFn = std::function<bool(Tick window_end)>;
+
+    ShardedKernel() = default;
+    ShardedKernel(const ShardedKernel&) = delete;
+    ShardedKernel& operator=(const ShardedKernel&) = delete;
+
+    /**
+     * Register a shard stepped via @p step; @p eq is the shard's queue
+     * (used for next-event-time queries and mailbox delivery).
+     * @return the shard id (dense, starting at 0).
+     */
+    unsigned addShard(std::string name, EventQueue& eq, StepFn step);
+
+    /**
+     * Register a plain queue shard: stepped until its queue holds no
+     * event below the window end.
+     */
+    unsigned addShard(std::string name, EventQueue& eq);
+
+    /**
+     * Declare a cross-shard link with conservative lookahead: every
+     * message posted from @p from to @p to must be delivered at least
+     * @p lookahead ticks after the tick it was posted at. The global
+     * window size is the minimum lookahead over all links.
+     */
+    void link(unsigned from, unsigned to, Tick lookahead);
+
+    /**
+     * Clamp window edges to multiples of @p period (0 disables).
+     * Checkpoint-epoch boundaries pass a period here so that epoch
+     * transitions are global barriers across shards.
+     */
+    void setBarrierPeriod(Tick period) { barrier_period_ = period; }
+
+    /**
+     * Post cross-shard work: run @p fn on shard @p to at tick @p when.
+     * Must be called from the worker currently stepping shard @p from
+     * (typically from inside one of its events), over a declared link,
+     * with @p when no earlier than the end of the current window — the
+     * conservative rule; violating it panics, because the target shard
+     * may already have stepped past @p when.
+     */
+    void post(unsigned from, unsigned to, Tick when,
+              std::function<void()> fn);
+
+    /** End of the window currently being stepped (kMaxTick outside run). */
+    Tick windowEnd() const { return window_end_; }
+
+    /**
+     * Run all shards to completion: windows advance until every shard
+     * reports no more progress and all mailboxes are empty.
+     *
+     * @param threads worker count. 1 steps shards inline on the
+     *        calling thread in shard-id order — the serial reference
+     *        schedule. More workers step shards concurrently via
+     *        @p pool (one is created internally if null). The executed
+     *        event sequence per shard is identical either way.
+     * @param pool optional shared ThreadPool (benchmark fan-out and
+     *        shard stepping can use one pool); its size caps effective
+     *        concurrency.
+     * @return the latest tick reached by any shard.
+     */
+    Tick run(unsigned threads, ThreadPool* pool = nullptr);
+
+    /** Number of registered shards. */
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    /** Windows executed by the last run(). */
+    std::uint64_t windowsExecuted() const { return windows_; }
+    /** Cross-shard messages delivered by the last run(). */
+    std::uint64_t messagesDelivered() const { return messages_; }
+
+  private:
+    /** One queued cross-shard message. */
+    struct Message
+    {
+        Tick when = 0;
+        std::function<void()> fn;
+    };
+
+    /** One declared link and its mailbox. */
+    struct Link
+    {
+        unsigned from = 0;
+        unsigned to = 0;
+        Tick lookahead = 0;
+        std::unique_ptr<SpscRing<Message>> mailbox;
+    };
+
+    struct Shard
+    {
+        std::string name;
+        EventQueue* eq = nullptr;
+        StepFn step;
+        bool runnable = true;
+    };
+
+    /** Earliest pending work across shards and mailboxes. */
+    Tick earliestPending() const;
+    /** Drain every mailbox into its target queue, in link order. */
+    void drainMailboxes();
+
+    std::vector<Shard> shards_;
+    std::vector<Link> links_;
+    Tick barrier_period_ = 0;
+    Tick window_end_ = kMaxTick;
+    std::uint64_t windows_ = 0;
+    std::uint64_t messages_ = 0;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_SIM_SHARD_HH

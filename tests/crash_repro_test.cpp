@@ -11,6 +11,7 @@
 
 #include "tests/test_util.hh"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "fuzz/fuzzer.hh"
@@ -115,6 +116,81 @@ TEST(CrashRepro, InjectedReproReplaysDeterministically)
     FuzzerConfig healthy;
     const CaseResult ok = runCrashCase(healthy, c);
     EXPECT_EQ(ok.status, CaseStatus::Ok) << ok.detail;
+}
+
+void
+expectSameCampaign(const CampaignResult& a, const CampaignResult& b,
+                   const char* what)
+{
+    EXPECT_EQ(b.cases, a.cases) << what;
+    EXPECT_EQ(b.not_reached, a.not_reached) << what;
+    EXPECT_EQ(b.repros, a.repros) << what;
+    EXPECT_EQ(b.sites_by_system, a.sites_by_system) << what;
+    ASSERT_EQ(b.violations.size(), a.violations.size()) << what;
+    for (std::size_t i = 0; i < a.violations.size(); ++i) {
+        EXPECT_EQ(b.violations[i].repro, a.violations[i].repro) << what;
+        EXPECT_EQ(b.violations[i].detail, a.violations[i].detail)
+            << what;
+    }
+}
+
+/**
+ * The full default campaign (every seed/workload/system crash plan)
+ * fanned across host workers must produce the byte-identical result —
+ * counts, repro strings, site map, and log stream — as the serial
+ * campaign.
+ */
+TEST(CrashRepro, CampaignIsThreadCountInvariant)
+{
+    FuzzerConfig fc;
+    CampaignOptions opts; // defaults: the full tier-1 campaign
+
+    std::ostringstream serial_log;
+    const CampaignResult serial =
+        runCampaign(fc, opts, &serial_log, 1);
+    EXPECT_EQ(serial.repros.size(), serial.cases);
+    EXPECT_TRUE(serial.violations.empty());
+
+    for (unsigned threads : {2u, 4u}) {
+        std::ostringstream log;
+        const CampaignResult parallel =
+            runCampaign(fc, opts, &log, threads);
+        expectSameCampaign(serial, parallel,
+                           threads == 2 ? "threads=2" : "threads=4");
+        EXPECT_EQ(log.str(), serial_log.str());
+    }
+}
+
+/** Scoped THYNVM_SIM_THREADS override, restored on destruction. */
+struct EnvGuard
+{
+    EnvGuard(const char* name, const char* value) : name_(name)
+    {
+        ::setenv(name, value, 1);
+    }
+    ~EnvGuard() { ::unsetenv(name_); }
+    const char* name_;
+};
+
+/**
+ * Running the campaign while THYNVM_SIM_THREADS routes every simulated
+ * System through the sharded kernel must not change a single repro
+ * string or oracle verdict: crash sites fire at the same ticks whether
+ * the event loop is stepped serially or in lookahead windows.
+ */
+TEST(CrashRepro, CampaignInvariantUnderSimThreadsEnv)
+{
+    FuzzerConfig fc;
+    CampaignOptions opts; // defaults: the full tier-1 campaign
+
+    const CampaignResult base = runCampaign(fc, opts, nullptr, 1);
+    EXPECT_FALSE(base.repros.empty());
+
+    // Every simulated System inside every case now runs through the
+    // sharded kernel; case fan-out runs on 2 workers on top of that.
+    EnvGuard env("THYNVM_SIM_THREADS", "4");
+    const CampaignResult sharded = runCampaign(fc, opts, nullptr, 2);
+    expectSameCampaign(base, sharded, "THYNVM_SIM_THREADS=4");
 }
 
 } // namespace

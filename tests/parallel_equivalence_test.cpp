@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Serial vs sharded-kernel equivalence of whole simulations.
+ *
+ * The contract of the deterministic sharded kernel (DESIGN.md §8) is
+ * that running a simulation with any worker thread count produces
+ * byte-identical statistics and the identical final tick as the serial
+ * event loop. These tests pin that contract end to end across the
+ * figure-bench workload families (micro patterns, KV store, SPEC
+ * profiles) and every crash-consistency system kind, through all three
+ * entry points: SystemConfig::sim_threads, the THYNVM_SIM_THREADS
+ * environment variable, and explicit SystemGroup co-scheduling.
+ */
+
+#include "tests/test_util.hh"
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/shard_group.hh"
+#include "harness/system.hh"
+#include "workloads/kvstore.hh"
+#include "workloads/micro.hh"
+#include "workloads/spec.hh"
+
+namespace thynvm {
+namespace {
+
+/** Everything a run must reproduce exactly at any thread count. */
+struct RunResult
+{
+    std::string stats;
+    Tick final_tick = 0;
+    bool finished = false;
+};
+
+/** Workload families covered by the figure benchmarks. */
+enum class Family
+{
+    MicroRandom,
+    MicroStreaming,
+    MicroSliding,
+    KvHash,
+    SpecGcc,
+};
+
+const char*
+familyName(Family f)
+{
+    switch (f) {
+      case Family::MicroRandom: return "micro/random";
+      case Family::MicroStreaming: return "micro/streaming";
+      case Family::MicroSliding: return "micro/sliding";
+      case Family::KvHash: return "kv/hash";
+      case Family::SpecGcc: return "spec/gcc";
+    }
+    return "?";
+}
+
+/** Small-but-real configuration so one run finishes in milliseconds. */
+SystemConfig
+smallConfig(SystemKind kind)
+{
+    SystemConfig cfg;
+    cfg.kind = kind;
+    cfg.phys_size = 4u << 20;
+    cfg.epoch_length = 1 * kMillisecond;
+    cfg.thynvm.btt_entries = 256;
+    cfg.thynvm.ptt_entries = 512;
+    return cfg;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(Family f)
+{
+    switch (f) {
+      case Family::MicroRandom:
+      case Family::MicroStreaming:
+      case Family::MicroSliding: {
+          MicroWorkload::Params mp;
+          mp.pattern = f == Family::MicroRandom
+                           ? MicroWorkload::Pattern::Random
+                           : f == Family::MicroStreaming
+                                 ? MicroWorkload::Pattern::Streaming
+                                 : MicroWorkload::Pattern::Sliding;
+          mp.base = 0;
+          mp.array_bytes = 2u << 20;
+          mp.access_size = 64;
+          mp.read_fraction = 0.5;
+          mp.total_accesses = 4000;
+          mp.seed = 1;
+          return std::make_unique<MicroWorkload>(mp);
+      }
+      case Family::KvHash: {
+          KvWorkload::Params kp;
+          kp.structure = KvWorkload::Structure::HashTable;
+          kp.phys_size = 4u << 20;
+          kp.value_size = 64;
+          kp.initial_keys = 128;
+          kp.key_space = 512;
+          kp.hash_buckets = 512;
+          kp.total_txns = 300;
+          kp.compute_per_txn = 50;
+          kp.seed = 7;
+          return std::make_unique<KvWorkload>(kp);
+      }
+      case Family::SpecGcc: {
+          SpecProfile prof = specProfile("gcc");
+          prof.wss = 2u << 20; // shrink the footprint to the test system
+          return std::make_unique<SpecWorkload>(prof, 0, 60000, 3);
+      }
+    }
+    fatal("unreachable workload family");
+}
+
+/**
+ * One complete run: fresh workload, fresh System, run to completion.
+ * @p sim_threads goes through SystemConfig::sim_threads (1 = serial
+ * loop, >1 = sharded kernel on worker threads).
+ */
+RunResult
+runOne(Family f, SystemKind kind, unsigned sim_threads)
+{
+    SystemConfig cfg = smallConfig(kind);
+    cfg.sim_threads = sim_threads;
+    auto wl = makeWorkload(f);
+    System sys(cfg, *wl);
+    sys.start();
+    RunResult r;
+    r.final_tick = sys.run(20 * kSecond);
+    r.finished = sys.finished();
+    std::ostringstream os;
+    sys.dumpStats(os);
+    r.stats = os.str();
+    return r;
+}
+
+void
+expectSameRun(const RunResult& serial, const RunResult& other,
+              const std::string& what)
+{
+    EXPECT_TRUE(other.finished) << what;
+    EXPECT_EQ(other.final_tick, serial.final_tick) << what;
+    EXPECT_EQ(other.stats, serial.stats) << what;
+}
+
+TEST(ParallelEquivalence, MicroFamiliesByteIdenticalAtAnyThreadCount)
+{
+    const std::vector<SystemKind> kinds = {
+        SystemKind::Journal, SystemKind::Shadow, SystemKind::ThyNvm};
+    const std::vector<Family> families = {Family::MicroRandom,
+                                          Family::MicroStreaming,
+                                          Family::MicroSliding};
+    for (SystemKind kind : kinds) {
+        for (Family f : families) {
+            const RunResult serial = runOne(f, kind, 1);
+            ASSERT_TRUE(serial.finished) << familyName(f);
+            for (unsigned threads : {2u, 4u, 8u}) {
+                const std::string what =
+                    std::string(systemKindName(kind)) + " " +
+                    familyName(f) + " threads=" +
+                    std::to_string(threads);
+                expectSameRun(serial, runOne(f, kind, threads), what);
+            }
+        }
+    }
+}
+
+TEST(ParallelEquivalence, StorageAndSpecByteIdenticalAtAnyThreadCount)
+{
+    for (Family f : {Family::KvHash, Family::SpecGcc}) {
+        const RunResult serial = runOne(f, SystemKind::ThyNvm, 1);
+        ASSERT_TRUE(serial.finished) << familyName(f);
+        for (unsigned threads : {2u, 4u, 8u}) {
+            const std::string what = std::string(familyName(f)) +
+                                     " threads=" +
+                                     std::to_string(threads);
+            expectSameRun(serial, runOne(f, SystemKind::ThyNvm, threads),
+                          what);
+        }
+    }
+}
+
+/** Scoped THYNVM_SIM_THREADS override, restored on destruction. */
+struct EnvGuard
+{
+    EnvGuard(const char* name, const char* value) : name_(name)
+    {
+        ::setenv(name, value, 1);
+    }
+    ~EnvGuard() { ::unsetenv(name_); }
+    const char* name_;
+};
+
+TEST(ParallelEquivalence, EnvVarEscapeHatchMatchesSerial)
+{
+    // sim_threads = 0 defers to the environment; unset env = serial.
+    const RunResult serial =
+        runOne(Family::MicroRandom, SystemKind::ThyNvm, 0);
+    ASSERT_TRUE(serial.finished);
+    {
+        EnvGuard env("THYNVM_SIM_THREADS", "4");
+        expectSameRun(serial,
+                      runOne(Family::MicroRandom, SystemKind::ThyNvm, 0),
+                      "THYNVM_SIM_THREADS=4");
+    }
+    // Explicit sim_threads beats the environment.
+    {
+        EnvGuard env("THYNVM_SIM_THREADS", "8");
+        expectSameRun(serial,
+                      runOne(Family::MicroRandom, SystemKind::ThyNvm, 1),
+                      "sim_threads=1 overrides env");
+    }
+}
+
+/**
+ * Co-scheduling several Systems as shards of one kernel run must leave
+ * each System byte-identical to its solo serial run — the shards share
+ * worker threads and epoch barriers but no simulated state.
+ */
+TEST(ParallelEquivalence, SystemGroupMatchesSoloRuns)
+{
+    struct Cell
+    {
+        Family family;
+        SystemKind kind;
+    };
+    const std::vector<Cell> cells = {
+        {Family::MicroRandom, SystemKind::ThyNvm},
+        {Family::MicroStreaming, SystemKind::Journal},
+        {Family::MicroSliding, SystemKind::Shadow},
+        {Family::KvHash, SystemKind::ThyNvm},
+    };
+
+    // Solo serial reference runs.
+    std::vector<RunResult> solo;
+    for (const Cell& c : cells)
+        solo.push_back(runOne(c.family, c.kind, 1));
+    for (const RunResult& r : solo)
+        ASSERT_TRUE(r.finished);
+
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        std::vector<std::unique_ptr<Workload>> wls;
+        std::vector<std::unique_ptr<System>> systems;
+        SystemGroup group;
+        for (const Cell& c : cells) {
+            wls.push_back(makeWorkload(c.family));
+            systems.push_back(
+                std::make_unique<System>(smallConfig(c.kind),
+                                         *wls.back()));
+            systems.back()->start();
+            group.add(*systems.back());
+        }
+        group.run(threads, 20 * kSecond);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            std::ostringstream os;
+            systems[i]->dumpStats(os);
+            const std::string what =
+                std::string("group threads=") + std::to_string(threads) +
+                " cell=" + familyName(cells[i].family);
+            EXPECT_TRUE(systems[i]->finished()) << what;
+            EXPECT_EQ(os.str(), solo[i].stats) << what;
+        }
+    }
+}
+
+} // namespace
+} // namespace thynvm

@@ -61,6 +61,60 @@ TEST(ParallelForTest, PropagatesFirstException)
         std::runtime_error);
 }
 
+TEST(ParallelForTest, SharedPoolOverloadCoversEveryIndex)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(17);
+    // Reuse one pool across rounds, as the shard kernel does.
+    for (int round = 0; round < 4; ++round)
+        parallelForOn(pool, hits.size(),
+                      [&hits](std::size_t i) { ++hits[i]; });
+    for (auto& h : hits)
+        EXPECT_EQ(h.load(), 4);
+}
+
+TEST(CountdownLatchTest, WaitReturnsAfterAllArrivals)
+{
+    ThreadPool pool(4);
+    CountdownLatch latch(10);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 10; ++i) {
+        pool.submit([&] {
+            ++done;
+            latch.arrive();
+        });
+    }
+    latch.wait();
+    EXPECT_EQ(done.load(), 10);
+}
+
+TEST(BarrierTest, RendezvousAcrossGenerations)
+{
+    const unsigned parties = 4;
+    const int rounds = 50;
+    Barrier barrier(parties);
+    // Per-thread counters: after every barrier, all counters must agree.
+    std::vector<std::atomic<int>> counts(parties);
+    std::atomic<bool> mismatch{false};
+    std::vector<std::thread> threads;
+    for (unsigned p = 0; p < parties; ++p) {
+        threads.emplace_back([&, p] {
+            for (int r = 0; r < rounds; ++r) {
+                ++counts[p];
+                barrier.arriveAndWait();
+                for (unsigned q = 0; q < parties; ++q) {
+                    if (counts[q].load() < r + 1)
+                        mismatch = true;
+                }
+                barrier.arriveAndWait();
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_FALSE(mismatch.load());
+}
+
 // ---------------------------------------------------------------------
 // Serial/parallel equivalence of full simulation runs.
 // ---------------------------------------------------------------------

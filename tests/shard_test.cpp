@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Deterministic sharded event kernel (sim/shard.hh).
+ *
+ * The kernel's contract is that a sharded simulation executes, per
+ * shard, exactly the event sequence of a serial run — for any worker
+ * thread count. These tests pin that contract with synthetic
+ * multi-shard topologies exercising cross-shard mailbox traffic,
+ * conservative lookahead windows, and epoch barrier alignment.
+ */
+
+#include "tests/test_util.hh"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/shard.hh"
+
+namespace thynvm {
+namespace {
+
+/** One observed event: (shard, tick, payload). */
+struct Obs
+{
+    unsigned shard;
+    Tick tick;
+    std::uint64_t payload;
+
+    bool
+    operator==(const Obs& o) const
+    {
+        return shard == o.shard && tick == o.tick && payload == o.payload;
+    }
+};
+
+/**
+ * A ring of shards passing a token: shard i logs the hop and forwards
+ * it to shard (i+1)%K with latency @p hop_latency, until @p hops hops
+ * have happened. Exercises post()/mailbox drain/window advance.
+ */
+std::vector<std::vector<Obs>>
+runTokenRing(unsigned shards, unsigned threads, Tick hop_latency,
+             std::uint64_t hops)
+{
+    std::vector<EventQueue> queues(shards);
+    std::vector<std::vector<Obs>> logs(shards);
+    ShardedKernel kernel;
+    for (unsigned i = 0; i < shards; ++i)
+        kernel.addShard("ring" + std::to_string(i), queues[i]);
+    for (unsigned i = 0; i < shards; ++i)
+        kernel.link(i, (i + 1) % shards, hop_latency);
+
+    // The hop handler: log, then forward through the mailbox.
+    std::function<void(unsigned, std::uint64_t)> hop =
+        [&](unsigned shard, std::uint64_t count) {
+            EventQueue& eq = queues[shard];
+            logs[shard].push_back(Obs{shard, eq.now(), count});
+            if (count + 1 >= hops)
+                return;
+            const unsigned next = (shard + 1) % shards;
+            kernel.post(shard, next, eq.now() + hop_latency,
+                        [&hop, next, count] { hop(next, count + 1); });
+        };
+
+    queues[0].schedule(100, [&hop] { hop(0, 0); });
+    kernel.run(threads);
+    return logs;
+}
+
+TEST(ShardKernel, TokenRingMatchesAnalyticSchedule)
+{
+    const Tick lat = 40 * kNanosecond;
+    const auto logs = runTokenRing(4, 1, lat, 16);
+    for (unsigned s = 0; s < 4; ++s)
+        ASSERT_EQ(logs[s].size(), 4u) << "shard " << s;
+    // Hop j lands on shard j%4 at tick 100 + j*lat.
+    for (std::uint64_t j = 0; j < 16; ++j) {
+        const unsigned shard = static_cast<unsigned>(j % 4);
+        const Obs& o = logs[shard][j / 4];
+        EXPECT_EQ(o.tick, 100 + j * lat);
+        EXPECT_EQ(o.payload, j);
+    }
+}
+
+TEST(ShardKernel, TokenRingIsThreadCountInvariant)
+{
+    const Tick lat = 40 * kNanosecond;
+    const auto serial = runTokenRing(4, 1, lat, 64);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        const auto parallel = runTokenRing(4, threads, lat, 64);
+        EXPECT_EQ(parallel, serial) << "threads=" << threads;
+    }
+}
+
+/**
+ * Shards running independent seeded event chains with pseudo-random
+ * spacing, all-to-all linked. Each chain folds its (tick, step) pairs
+ * into a checksum; any divergence of event order or timing across
+ * thread counts changes it.
+ */
+std::vector<std::uint64_t>
+runJitterChains(unsigned shards, unsigned threads, std::uint64_t steps)
+{
+    std::vector<EventQueue> queues(shards);
+    std::vector<std::uint64_t> sums(shards, 0);
+    std::vector<Rng> rngs;
+    for (unsigned i = 0; i < shards; ++i)
+        rngs.emplace_back(0x5eed + i);
+
+    ShardedKernel kernel;
+    for (unsigned i = 0; i < shards; ++i)
+        kernel.addShard("chain" + std::to_string(i), queues[i]);
+    for (unsigned i = 0; i < shards; ++i) {
+        for (unsigned j = 0; j < shards; ++j) {
+            if (i != j)
+                kernel.link(i, j, 10 * kNanosecond);
+        }
+    }
+    kernel.setBarrierPeriod(500 * kNanosecond);
+
+    std::function<void(unsigned, std::uint64_t)> step =
+        [&](unsigned shard, std::uint64_t n) {
+            EventQueue& eq = queues[shard];
+            sums[shard] =
+                sums[shard] * 1099511628211ull + eq.now() * 31 + n;
+            if (n + 1 < steps) {
+                eq.scheduleIn(rngs[shard].below(300) + 1,
+                              [&step, shard, n] { step(shard, n + 1); });
+            }
+        };
+    for (unsigned i = 0; i < shards; ++i) {
+        queues[i].schedule(i * 7, [&step, i] { step(i, 0); });
+    }
+    kernel.run(threads);
+    return sums;
+}
+
+TEST(ShardKernel, JitterChainsAreThreadCountInvariant)
+{
+    const auto serial = runJitterChains(6, 1, 400);
+    for (unsigned threads : {2u, 4u, 8u}) {
+        EXPECT_EQ(runJitterChains(6, threads, 400), serial)
+            << "threads=" << threads;
+    }
+}
+
+TEST(ShardKernel, MailboxDeliversAtExactTick)
+{
+    EventQueue a, b;
+    ShardedKernel kernel;
+    kernel.addShard("a", a);
+    kernel.addShard("b", b);
+    kernel.link(0, 1, 50);
+
+    Tick delivered_at = 0;
+    a.schedule(10, [&] {
+        kernel.post(0, 1, a.now() + 123, [&] { delivered_at = b.now(); });
+    });
+    kernel.run(1);
+    EXPECT_EQ(delivered_at, 133u);
+}
+
+TEST(ShardKernel, MessagesReviveAnIdleShard)
+{
+    EventQueue a, b;
+    ShardedKernel kernel;
+    kernel.addShard("a", a);
+    kernel.addShard("b", b);
+    kernel.link(0, 1, 50);
+
+    // Shard b starts with an empty queue (idle immediately); a message
+    // posted later must still run on it.
+    int ran = 0;
+    a.schedule(1000, [&] {
+        kernel.post(0, 1, a.now() + 50, [&ran] { ++ran; });
+    });
+    kernel.run(2);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(b.now(), 1050u);
+}
+
+TEST(ShardKernel, ZeroLookaheadLinkIsRejected)
+{
+    EventQueue a, b;
+    ShardedKernel kernel;
+    kernel.addShard("a", a);
+    kernel.addShard("b", b);
+    EXPECT_THROW(kernel.link(0, 1, 0), PanicError);
+    EXPECT_THROW(kernel.link(0, 0, 10), PanicError);
+    EXPECT_THROW(kernel.link(0, 7, 10), PanicError);
+}
+
+TEST(ShardKernel, PostOverUndeclaredLinkPanics)
+{
+    EventQueue a, b;
+    ShardedKernel kernel;
+    kernel.addShard("a", a);
+    kernel.addShard("b", b);
+    kernel.link(0, 1, 50);
+    bool threw = false;
+    b.schedule(10, [&] {
+        try {
+            kernel.post(1, 0, b.now() + 100, [] {});
+        } catch (const PanicError&) {
+            threw = true;
+        }
+    });
+    kernel.run(1);
+    EXPECT_TRUE(threw);
+}
+
+TEST(ShardKernel, ConservativeViolationPanics)
+{
+    EventQueue a, b;
+    ShardedKernel kernel;
+    kernel.addShard("a", a);
+    kernel.addShard("b", b);
+    kernel.link(0, 1, 50);
+    // A message due *before* the end of the current window would race
+    // the target shard; the kernel must refuse it.
+    bool threw = false;
+    a.schedule(10, [&] {
+        try {
+            kernel.post(0, 1, a.now() + 1, [] {});
+        } catch (const PanicError&) {
+            threw = true;
+        }
+    });
+    kernel.run(1);
+    EXPECT_TRUE(threw);
+}
+
+TEST(ShardKernel, CountsWindowsAndMessages)
+{
+    const Tick lat = 40 * kNanosecond;
+    EventQueue a, b;
+    ShardedKernel kernel;
+    kernel.addShard("a", a);
+    kernel.addShard("b", b);
+    kernel.link(0, 1, lat);
+
+    int delivered = 0;
+    a.schedule(0, [&] {
+        kernel.post(0, 1, lat, [&] { ++delivered; });
+    });
+    kernel.run(1);
+    EXPECT_EQ(delivered, 1);
+    EXPECT_EQ(kernel.messagesDelivered(), 1u);
+    EXPECT_GE(kernel.windowsExecuted(), 2u);
+}
+
+TEST(SpscRing, PushPopWrapAround)
+{
+    SpscRing<int> ring(4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 4; ++i)
+            EXPECT_TRUE(ring.push(round * 10 + i));
+        int extra = 99;
+        EXPECT_FALSE(ring.push(std::move(extra))); // full
+        for (int i = 0; i < 4; ++i) {
+            int out = -1;
+            EXPECT_TRUE(ring.pop(out));
+            EXPECT_EQ(out, round * 10 + i);
+        }
+        int out = -1;
+        EXPECT_FALSE(ring.pop(out)); // empty
+    }
+}
+
+TEST(SpscRing, ConcurrentProducerConsumer)
+{
+    SpscRing<std::uint64_t> ring(64);
+    const std::uint64_t n = 100000;
+    std::atomic<bool> fail{false};
+    std::thread consumer([&] {
+        std::uint64_t expect = 0;
+        while (expect < n) {
+            std::uint64_t v;
+            if (ring.pop(v)) {
+                if (v != expect)
+                    fail = true;
+                ++expect;
+            }
+        }
+    });
+    for (std::uint64_t i = 0; i < n;) {
+        std::uint64_t v = i;
+        if (ring.push(std::move(v)))
+            ++i;
+    }
+    consumer.join();
+    EXPECT_FALSE(fail);
+}
+
+} // namespace
+} // namespace thynvm

@@ -10,10 +10,14 @@
  *
  * Usage:
  *   thynvm_fuzz [--seeds N] [--both-fastpath] [--deltas t0,t1,...]
- *               [--inject-drop-btt IDX] [--list-sites] [--replay REPRO]
+ *               [--threads N] [--inject-drop-btt IDX] [--list-sites]
+ *               [--replay REPRO]
  *
  * The THYNVM_FUZZ_ITERS environment variable scales the seed count for
- * nightly-sized sweeps (same as --seeds).
+ * nightly-sized sweeps (same as --seeds). --threads (default: the
+ * THYNVM_SIM_THREADS environment variable, else 1) fans the campaign's
+ * independent cases across host workers; the campaign result is
+ * byte-identical for any thread count.
  */
 
 #include <cstdio>
@@ -22,6 +26,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/parallel.hh"
 #include "fuzz/fuzzer.hh"
 
 namespace {
@@ -35,8 +40,8 @@ usage(const char* argv0)
     std::fprintf(stderr,
                  "usage: %s [--seeds N] [--both-fastpath] "
                  "[--deltas t0,t1,...]\n"
-                 "          [--inject-drop-btt IDX] [--list-sites] "
-                 "[--replay REPRO]\n",
+                 "          [--threads N] [--inject-drop-btt IDX] "
+                 "[--list-sites] [--replay REPRO]\n",
                  argv0);
     return 2;
 }
@@ -99,6 +104,7 @@ main(int argc, char** argv)
     bool list_sites = false;
     std::string replay_str;
     std::uint64_t n_seeds = 1;
+    unsigned threads = std::max(1u, simThreadsFromEnv());
 
     if (const char* env = std::getenv("THYNVM_FUZZ_ITERS"))
         n_seeds = std::strtoull(env, nullptr, 10);
@@ -116,6 +122,9 @@ main(int argc, char** argv)
                 opts.deltas.push_back(std::strtoull(p, &end, 10));
                 p = (*end == ',') ? end + 1 : end;
             }
+        } else if (arg == "--threads" && i + 1 < argc) {
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--inject-drop-btt" && i + 1 < argc) {
             fc.debug_drop_btt_entry = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--list-sites") {
@@ -138,7 +147,7 @@ main(int argc, char** argv)
     for (std::uint64_t s = 1; s <= n_seeds; ++s)
         opts.seeds.push_back(s);
 
-    const CampaignResult r = runCampaign(fc, opts, &std::cerr);
+    const CampaignResult r = runCampaign(fc, opts, &std::cerr, threads);
 
     std::printf("campaign: %llu cases (%llu not reached), "
                 "%zu violations\n",
