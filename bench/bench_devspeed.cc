@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hh"
@@ -183,6 +184,8 @@ main()
         return 1;
     }
     std::fprintf(f, "{\n  \"benchmark\": \"devspeed\",\n");
+    std::fprintf(f, "  \"host_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
     std::fprintf(f, "  \"requests_per_cell\": %llu,\n",
                  static_cast<unsigned long long>(kRequests));
     std::fprintf(f, "  \"cells\": [\n");

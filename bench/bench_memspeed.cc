@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.hh"
@@ -132,6 +133,8 @@ main()
     std::fprintf(f, "{\n  \"benchmark\": \"memspeed\",\n");
     std::fprintf(f, "  \"workload\": \"micro_random\",\n");
     std::fprintf(f, "  \"threads\": 1,\n");
+    std::fprintf(f, "  \"host_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
     std::fprintf(f, "  \"cells\": [\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
         const MemResult& r = results[i];

@@ -16,6 +16,14 @@
  *     count as its solo serial run (the determinism contract of
  *     DESIGN.md §8), while measuring wall-clock scaling.
  *
+ *  3. Channel sweep — ONE System (Random/ThyNVM) at 1/2/4 memory
+ *     channels, each stepped by 1/2/4 worker threads. Multi-channel
+ *     splits a single run into per-channel kernel shards, so this is
+ *     the intra-System parallel-speedup axis; every (channels,
+ *     threads) cell is cross-checked against the one-worker run of
+ *     the identical topology (same final tick, same total event
+ *     count across the core and every channel queue).
+ *
  * Results are written as machine-readable JSON to BENCH_simspeed.json
  * (in the working directory) so the performance trajectory of the
  * simulation substrate is tracked from PR to PR; EXPERIMENTS.md records
@@ -176,6 +184,58 @@ measureGroup(unsigned threads,
     return r;
 }
 
+/** One channel-sweep cell: a single System, C channels, N workers. */
+struct ChannelCell
+{
+    unsigned channels = 1;
+    unsigned threads = 1;
+    std::uint64_t events = 0;
+    double host_seconds = 0.0;
+    double events_per_sec = 0.0;
+    double speedup = 1.0; //!< vs. one worker at the same channel count
+    Tick final_tick = 0;
+};
+
+/** Events executed across the core queue and every channel queue. */
+std::uint64_t
+totalEvents(System& sys)
+{
+    std::uint64_t ev = sys.eventq().eventsExecuted();
+    if (sys.channels() > 1) {
+        auto& grp = static_cast<ChannelGroup&>(sys.controller());
+        for (unsigned i = 0; i < grp.channelCount(); ++i)
+            ev += grp.channelEventq(i).eventsExecuted();
+    }
+    return ev;
+}
+
+ChannelCell
+measureChannelCell(unsigned channels, unsigned threads)
+{
+    SystemConfig cfg = paperSystem(SystemKind::ThyNvm);
+    cfg.channels = channels;
+    cfg.sim_threads = threads;
+    MicroWorkload wl(cellParams(MicroWorkload::Pattern::Random));
+    System sys(cfg, wl);
+
+    const auto t0 = Clock::now();
+    sys.start();
+    const Tick end = sys.run(60 * kSecond);
+    const double host =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    fatal_if(!sys.finished(), "channel-sweep run did not complete");
+
+    ChannelCell r;
+    r.channels = channels;
+    r.threads = threads;
+    r.events = totalEvents(sys);
+    r.host_seconds = host;
+    r.events_per_sec =
+        host > 0.0 ? static_cast<double>(r.events) / host : 0.0;
+    r.final_tick = end;
+    return r;
+}
+
 } // namespace
 
 int
@@ -255,6 +315,47 @@ main(int argc, char** argv)
         sweep.push_back(s);
     }
 
+    heading("Channel sweep: one Random/ThyNVM System, "
+            "channels x workers");
+    std::printf("%-10s %-8s %14s %10s %14s %10s %14s\n", "channels",
+                "threads", "events", "host_s", "events/s", "speedup",
+                "final_tick");
+
+    std::vector<ChannelCell> channel_sweep;
+    for (unsigned channels : {1u, 2u, 4u}) {
+        ChannelCell ref; // the one-worker cell at this channel count
+        for (unsigned threads : {1u, 2u, 4u}) {
+            ChannelCell c = measureChannelCell(channels, threads);
+            if (threads == 1) {
+                ref = c;
+            } else {
+                // Determinism cross-check: the sharded run replays the
+                // one-worker schedule of the identical topology.
+                fatal_if(c.events != ref.events,
+                         "channel sweep diverged: channels=%u "
+                         "threads=%u events %llu != %llu",
+                         channels, threads,
+                         static_cast<unsigned long long>(c.events),
+                         static_cast<unsigned long long>(ref.events));
+                fatal_if(c.final_tick != ref.final_tick,
+                         "channel sweep diverged: channels=%u "
+                         "threads=%u final tick %llu != %llu",
+                         channels, threads,
+                         static_cast<unsigned long long>(c.final_tick),
+                         static_cast<unsigned long long>(
+                             ref.final_tick));
+                if (ref.host_seconds > 0.0)
+                    c.speedup = ref.host_seconds / c.host_seconds;
+            }
+            std::printf("%-10u %-8u %14llu %10.2f %14.0f %9.2fx %14llu\n",
+                        c.channels, c.threads,
+                        static_cast<unsigned long long>(c.events),
+                        c.host_seconds, c.events_per_sec, c.speedup,
+                        static_cast<unsigned long long>(c.final_tick));
+            channel_sweep.push_back(c);
+        }
+    }
+
     FILE* f = std::fopen("BENCH_simspeed.json", "w");
     if (f == nullptr) {
         std::fprintf(stderr, "cannot write BENCH_simspeed.json\n");
@@ -280,6 +381,21 @@ main(int argc, char** argv)
                      s.host_seconds, s.events_per_sec, s.speedup,
                      static_cast<unsigned long long>(s.windows),
                      i + 1 == sweep.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"channel_sweep\": [\n");
+    for (std::size_t i = 0; i < channel_sweep.size(); ++i) {
+        const ChannelCell& c = channel_sweep[i];
+        std::fprintf(f,
+                     "    {\"channels\": %u, \"threads\": %u, "
+                     "\"events\": %llu, \"host_seconds\": %.3f, "
+                     "\"events_per_sec\": %.0f, \"speedup\": %.3f, "
+                     "\"final_tick\": %llu}%s\n",
+                     c.channels, c.threads,
+                     static_cast<unsigned long long>(c.events),
+                     c.host_seconds, c.events_per_sec, c.speedup,
+                     static_cast<unsigned long long>(c.final_tick),
+                     i + 1 == channel_sweep.size() ? "" : ",");
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"cells\": [\n");

@@ -48,9 +48,9 @@ class EpochController : public MemController
 
     /** Force an early epoch boundary (e.g., on buffer overflow). */
     void
-    requestEpochEnd()
+    requestEpochEnd() override
     {
-        if (!started_)
+        if (!started_ || halted_)
             return;
         boundary_requested_ = true;
         // Defer: the request may originate mid-way through an access
@@ -58,6 +58,23 @@ class EpochController : public MemController
         // pending attempt is necessarily at this tick and covers us.
         if (!boundary_event_.scheduled())
             eventq_.schedule(boundary_event_, curTick());
+    }
+
+    /**
+     * Stop initiating boundaries: cancel the epoch timer and refuse
+     * future requests. An in-flight checkpoint completes normally (its
+     * events are already scheduled), after which nothing re-arms, so
+     * the queue drains — the termination handshake of the per-channel
+     * kernel shards.
+     */
+    void
+    halt() override
+    {
+        halted_ = true;
+        if (epoch_timer_.scheduled())
+            eventq_.deschedule(epoch_timer_);
+        if (!ckpt_in_progress_)
+            boundary_requested_ = false;
     }
 
     /** True while a stop-the-world checkpoint is running. */
@@ -103,6 +120,8 @@ class EpochController : public MemController
     void
     armTimer()
     {
+        if (halted_)
+            return;
         if (epoch_timer_.scheduled())
             eventq_.deschedule(epoch_timer_);
         eventq_.schedule(epoch_timer_, curTick() + epoch_length_);
@@ -163,6 +182,7 @@ class EpochController : public MemController
     resetEpochState()
     {
         started_ = false;
+        halted_ = false;
         ckpt_in_progress_ = false;
         boundary_requested_ = false;
         stalled_.clear();
@@ -175,6 +195,7 @@ class EpochController : public MemController
 
     Tick epoch_length_;
     bool started_ = false;
+    bool halted_ = false;
     bool ckpt_in_progress_ = false;
     bool boundary_requested_ = false;
     Tick stall_start_ = 0;

@@ -47,6 +47,16 @@ class IdealController : public MemController
           port_(dev_)
     {}
 
+    /**
+     * Device bytes a controller over @p phys_size occupies (the flat
+     * space itself). The channel group sizes per-channel backing-store
+     * slices with this before construction.
+     */
+    static std::size_t nvmCapacity(std::size_t phys_size)
+    {
+        return phys_size;
+    }
+
     std::size_t physCapacity() const override { return phys_size_; }
 
     void

@@ -29,6 +29,15 @@ struct AppliedMarker
 
 } // namespace
 
+std::size_t
+JournalController::nvmCapacity(const JournalConfig& cfg)
+{
+    const std::size_t entries = cfg.table_entries + cfg.table_headroom;
+    return cfg.phys_size + entries * kBlockSize +
+           roundUp(entries * 8, kBlockSize) + 2 * kBlockSize +
+           2 * roundUp(8 + cfg.cpu_state_max, kBlockSize);
+}
+
 JournalController::JournalController(
     EventQueue& eq, std::string name, const JournalConfig& cfg,
     std::shared_ptr<BackingStore> nvm_store)
@@ -38,14 +47,7 @@ JournalController::JournalController(
                 DeviceParams::dram((cfg.table_entries + cfg.table_headroom)
                                    * kBlockSize)),
       nvm_dev_(eq, this->name() + ".nvm",
-               DeviceParams::nvm(
-                   cfg.phys_size +
-                   (cfg.table_entries + cfg.table_headroom) * kBlockSize +
-                   roundUp((cfg.table_entries + cfg.table_headroom) * 8,
-                           kBlockSize) +
-                   2 * kBlockSize + 2 * roundUp(8 + cfg.cpu_state_max,
-                                                kBlockSize)),
-               std::move(nvm_store)),
+               DeviceParams::nvm(nvmCapacity(cfg)), std::move(nvm_store)),
       dram_port_(dram_dev_),
       nvm_port_(nvm_dev_)
 {
@@ -219,9 +221,13 @@ JournalController::doCheckpoint(std::function<void()> done)
     auto commit_entries = std::make_shared<
         std::vector<std::pair<std::size_t, Addr>>>(std::move(entries));
 
-    // Phase 2: commit header after the journal is durable.
+    // Phase 2: commit header after the journal is durable. Commit-gate
+    // phase 0 interposes here — in a channel group no channel writes
+    // its header until every channel's journal image is durable.
     nvm_port_.notifyWhenWritesDurable([this, epoch, commit_entries,
                                        done = std::move(done)]() mutable {
+      commitGate(0, [this, epoch, commit_entries,
+                     done = std::move(done)]() mutable {
         crashPoint("ckpt.pre_commit_header");
         JournalHeader hdr{};
         hdr.magic = kJournalMagic;
@@ -233,10 +239,16 @@ JournalController::doCheckpoint(std::function<void()> done)
         nvm_port_.sendWrite(headerAddr(), hdr_blk,
                             TrafficSource::Checkpoint);
 
-        // Phase 3: apply in place, then retire the journal.
+        // Phase 3: apply in place, then retire the journal. Commit-gate
+        // phase 1 interposes before the first in-place (destructive)
+        // write: every channel's commit header must be durable first,
+        // so the group's minimum committed epoch has already advanced
+        // past the state the apply destroys.
         nvm_port_.notifyWhenWritesDurable([this, epoch, commit_entries,
                                            done = std::move(done)]()
                                               mutable {
+          commitGate(1, [this, epoch, commit_entries,
+                         done = std::move(done)]() mutable {
             for (const auto& [slot, paddr] : *commit_entries) {
                 crashPoint("ckpt.apply_block");
                 std::uint8_t data[kBlockSize];
@@ -262,7 +274,9 @@ JournalController::doCheckpoint(std::function<void()> done)
                         done();
                     });
             });
+          });
         });
+      });
     });
 }
 
@@ -341,6 +355,85 @@ JournalController::recover(std::function<void()> done)
         recovered_cpu_state_.clear();
         epoch_num_ = 1;
     }
+
+    eventq_.scheduleIn(0, dec);
+}
+
+std::uint64_t
+JournalController::committedEpoch() const
+{
+    JournalHeader hdr{};
+    nvm_dev_.store().read(headerAddr(), &hdr, sizeof(hdr));
+    return hdr.magic == kJournalMagic ? hdr.epoch : 0;
+}
+
+void
+JournalController::recoverTo(std::uint64_t max_epoch,
+                             std::function<void()> done)
+{
+    JournalHeader hdr{};
+    nvm_dev_.store().read(headerAddr(), &hdr, sizeof(hdr));
+    const bool valid = hdr.magic == kJournalMagic;
+    if (!valid || hdr.epoch <= max_epoch) {
+        recover(std::move(done));
+        return;
+    }
+    // The durable header is one epoch past the recovery target: this
+    // channel wrote its commit header but the group's phase-1 barrier
+    // proves no channel applied it in place, so Home still holds
+    // exactly the target epoch's image (the journal apply is the only
+    // destructive step). The barrier also bounds the spread to one.
+    panic_if(hdr.epoch > max_epoch + 1,
+             "journal header epoch %llu too far past recovery target "
+             "%llu",
+             static_cast<unsigned long long>(hdr.epoch),
+             static_cast<unsigned long long>(max_epoch));
+
+    auto outstanding = std::make_shared<std::uint64_t>(1);
+    auto fire = std::make_shared<std::function<void()>>(std::move(done));
+    auto dec = [this, outstanding, fire] {
+        if (--*outstanding == 0) {
+            ++recoveries_;
+            auto cb = std::move(*fire);
+            *fire = nullptr;
+            if (cb)
+                cb();
+        }
+    };
+
+    // Demote the stale header to describe the target epoch (count 0:
+    // the target's journal is fully applied), so a later crash before
+    // the next commit recovers the same cut instead of replaying the
+    // abandoned epoch's journal over freshly staged blocks.
+    JournalHeader demoted{};
+    std::uint8_t hdr_blk[kBlockSize] = {};
+    if (max_epoch > 0) {
+        const unsigned k = static_cast<unsigned>(max_epoch & 1);
+        std::uint64_t cpu_len = 0;
+        nvm_dev_.store().read(cpuAddr(k), &cpu_len, 8);
+        panic_if(cpu_len > cfg_.cpu_state_max,
+                 "implausible rolled-back CPU state length");
+        recovered_cpu_state_.resize(cpu_len);
+        nvm_dev_.store().read(cpuAddr(k) + 8, recovered_cpu_state_.data(),
+                              cpu_len);
+        demoted.magic = kJournalMagic;
+        demoted.epoch = max_epoch;
+        demoted.count = 0;
+        demoted.cpu_len = cpu_len;
+        epoch_num_ = max_epoch + 1;
+    } else {
+        // Nothing ever committed anywhere: pristine machine.
+        recovered_cpu_state_.clear();
+        epoch_num_ = 1;
+    }
+    std::memcpy(hdr_blk, &demoted, sizeof(demoted));
+    // Durable immediately (functional store write, so a crash before
+    // the timed write services cannot roll the demotion back), plus the
+    // timed write for the recovery-traffic model.
+    nvm_dev_.store().write(headerAddr(), hdr_blk, kBlockSize);
+    ++*outstanding;
+    nvm_port_.sendWrite(headerAddr(), hdr_blk, TrafficSource::Recovery,
+                        dec);
 
     eventq_.scheduleIn(0, dec);
 }

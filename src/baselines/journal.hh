@@ -54,6 +54,13 @@ class JournalController : public EpochController
                       const JournalConfig& cfg,
                       std::shared_ptr<BackingStore> nvm_store = nullptr);
 
+    /**
+     * NVM bytes a controller with this config occupies (home + journal
+     * + headers + CPU areas). The channel group sizes per-channel
+     * backing-store slices with this before construction.
+     */
+    static std::size_t nvmCapacity(const JournalConfig& cfg);
+
     std::size_t physCapacity() const override { return cfg_.phys_size; }
     void accessBlock(Addr paddr, bool is_write, const std::uint8_t* wdata,
                      std::uint8_t* rdata, TrafficSource source,
@@ -76,6 +83,9 @@ class JournalController : public EpochController
     void loadImage(Addr paddr, const void* buf, std::size_t len) override;
     void crash() override;
     void recover(std::function<void()> done) override;
+    void recoverTo(std::uint64_t max_epoch,
+                   std::function<void()> done) override;
+    std::uint64_t committedEpoch() const override;
 
     /** DRAM device (journal buffer). */
     MemDevice& dram() { return dram_dev_; }

@@ -30,11 +30,7 @@ ShadowController::ShadowController(
       dram_dev_(eq, this->name() + ".dram",
                 DeviceParams::dram(cfg.dram_size)),
       nvm_dev_(eq, this->name() + ".nvm",
-               DeviceParams::nvm(
-                   2 * cfg.phys_size +
-                   2 * roundUp(cfg.phys_size / kPageSize, kBlockSize) +
-                   2 * (kBlockSize + roundUp(8 + cfg.cpu_state_max,
-                                             kBlockSize))),
+               DeviceParams::nvm(nvmCapacity(cfg)),
                std::move(nvm_store)),
       dram_port_(dram_dev_),
       nvm_port_(nvm_dev_),
@@ -54,6 +50,14 @@ ShadowController::ShadowController(
                       "pages evicted from the DRAM buffer");
     stats().addScalar("pages_flushed", &pages_flushed_,
                       "dirty pages flushed to shadow NVM slots");
+}
+
+std::size_t
+ShadowController::nvmCapacity(const ShadowConfig& cfg)
+{
+    return 2 * cfg.phys_size +
+           2 * roundUp(cfg.phys_size / kPageSize, kBlockSize) +
+           2 * (kBlockSize + roundUp(8 + cfg.cpu_state_max, kBlockSize));
 }
 
 Addr
@@ -277,6 +281,7 @@ ShadowController::doCheckpoint(std::function<void()> done)
 
     nvm_port_.notifyWhenWritesDurable([this, k,
                                        done = std::move(done)]() mutable {
+      commitGate(0, [this, k, done = std::move(done)]() mutable {
         crashPoint("ckpt.pre_commit_header");
         ShadowHeader hdr{};
         hdr.magic = kShadowMagic;
@@ -288,6 +293,7 @@ ShadowController::doCheckpoint(std::function<void()> done)
                             TrafficSource::Checkpoint);
         nvm_port_.notifyWhenWritesDurable(
             [this, done = std::move(done)]() mutable {
+              commitGate(1, [this, done = std::move(done)]() mutable {
                 crashPoint("ckpt.pre_slot_flip");
                 // Commit: flip slots for flushed pages.
                 for (std::size_t i = 0; i < numPages(); ++i) {
@@ -296,7 +302,9 @@ ShadowController::doCheckpoint(std::function<void()> done)
                 }
                 ++epoch_num_;
                 done();
+              });
             });
+      });
     });
 }
 
@@ -370,6 +378,48 @@ ShadowController::recover(std::function<void()> done)
     }
 
     eventq_.scheduleIn(0, dec);
+}
+
+std::uint64_t
+ShadowController::committedEpoch() const
+{
+    std::uint64_t best = 0;
+    for (unsigned k = 0; k < 2; ++k) {
+        ShadowHeader hdr{};
+        nvm_dev_.store().read(headerAddr(k), &hdr, sizeof(hdr));
+        if (hdr.magic == kShadowMagic && hdr.epoch > best)
+            best = hdr.epoch;
+    }
+    return best;
+}
+
+void
+ShadowController::recoverTo(std::uint64_t max_epoch,
+                            std::function<void()> done)
+{
+    for (unsigned k = 0; k < 2; ++k) {
+        ShadowHeader hdr{};
+        nvm_dev_.store().read(headerAddr(k), &hdr, sizeof(hdr));
+        if (hdr.magic != kShadowMagic || hdr.epoch <= max_epoch)
+            continue;
+        panic_if(hdr.epoch > max_epoch + 1,
+                 "committed epoch beyond the recovery target + 1: the "
+                 "cross-channel commit barrier should bound the spread");
+        // This slot committed past the group minimum. The phase-1
+        // barrier guarantees its slot flip never happened on any
+        // channel, so the other slot's table still describes the target
+        // image and that image's pages were never overwritten.
+        // Invalidate the stale header durably (functional store write
+        // so a crash mid-recovery cannot roll it back) and model the
+        // timed write; otherwise a crash while the epoch is re-executed
+        // and re-staged could resurrect the stale header over a
+        // half-rewritten slot table.
+        std::uint8_t zero_blk[kBlockSize] = {};
+        nvm_dev_.store().write(headerAddr(k), zero_blk, kBlockSize);
+        nvm_port_.sendWrite(headerAddr(k), zero_blk,
+                            TrafficSource::Recovery);
+    }
+    recover(std::move(done));
 }
 
 } // namespace thynvm

@@ -296,6 +296,24 @@ simThreadsFromEnv()
 }
 
 /**
+ * Memory-channel count from THYNVM_CHANNELS, or 0 when unset/invalid
+ * (callers treat 0 as "one channel"). Consulted by SystemConfig when
+ * channels is left at its deferred default, mirroring
+ * simThreadsFromEnv(); CI uses it to route whole test labels through
+ * the multi-channel topology.
+ */
+inline unsigned
+channelsFromEnv()
+{
+    if (const char* env = std::getenv("THYNVM_CHANNELS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    return 0;
+}
+
+/**
  * Run @p fn(i) for every i in [0, n) on @p pool, blocking until all
  * indices finish. The first exception thrown by any call is rethrown
  * to the caller after all indices finish.

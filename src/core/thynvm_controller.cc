@@ -105,9 +105,21 @@ ThyNvmController::start()
 void
 ThyNvmController::armEpochTimer()
 {
+    if (halted_)
+        return;
     if (epoch_timer_.scheduled())
         eventq_.deschedule(epoch_timer_);
     eventq_.schedule(epoch_timer_, curTick() + cfg_.epoch_length);
+}
+
+void
+ThyNvmController::halt()
+{
+    halted_ = true;
+    if (epoch_timer_.scheduled())
+        eventq_.deschedule(epoch_timer_);
+    if (!ckpt_in_progress_ && !boundary_in_progress_)
+        boundary_requested_ = false;
 }
 
 void
@@ -171,7 +183,7 @@ ThyNvmController::persistCpuState(const std::vector<std::uint8_t>& blob)
 void
 ThyNvmController::requestEpochEnd()
 {
-    if (!started_)
+    if (!started_ || halted_)
         return;
     boundary_requested_ = true;
     // Defer: the request may originate mid-way through a store path,
@@ -1204,8 +1216,11 @@ ThyNvmController::persistPttAndCpu()
     stageMetadataWrite(slot + layout_.cpuAreaOffset(), cpu);
 
     // Step 5: wait for every NVM write staged so far to become durable,
-    // then write the atomic commit header (paper Figure 6b).
-    nvm_port_.notifyWhenWritesDurable([this] { writeCommitHeader(); });
+    // then write the atomic commit header (paper Figure 6b). On a
+    // multi-channel machine the image-staged edge is a cross-channel
+    // barrier (commit gate phase 0).
+    nvm_port_.notifyWhenWritesDurable(
+        [this] { commitGate(0, [this] { writeCommitHeader(); }); });
 }
 
 void
@@ -1221,7 +1236,10 @@ ThyNvmController::writeCommitHeader()
     std::memcpy(block, &hdr, sizeof(hdr));
     sendNvmWrite(layout_.backupSlot(backup_toggle_), block,
                  TrafficSource::Checkpoint);
-    nvm_port_.notifyWhenWritesDurable([this] { commitCheckpoint(); });
+    // Header-durable edge: cross-channel barrier (commit gate phase 1)
+    // before the destructive flip to the new recovery image.
+    nvm_port_.notifyWhenWritesDurable(
+        [this] { commitGate(1, [this] { commitCheckpoint(); }); });
 }
 
 void
@@ -1346,6 +1364,7 @@ ThyNvmController::crash()
     boundary_requested_ = false;
     boundary_in_progress_ = false;
     started_ = false;
+    halted_ = false;
     if (epoch_timer_.scheduled())
         eventq_.deschedule(epoch_timer_);
     if (boundary_event_.scheduled())
@@ -1519,6 +1538,48 @@ ThyNvmController::recover(std::function<void()> done)
     epoch_ = best_epoch + 1;
     backup_toggle_ = static_cast<unsigned>(best_slot) ^ 1u;
     eventq_.scheduleIn(0, dec); // balance the initial count of one
+}
+
+std::uint64_t
+ThyNvmController::committedEpoch() const
+{
+    std::uint64_t best = 0;
+    for (unsigned k = 0; k < 2; ++k) {
+        BackupHeader hdr{};
+        nvm_dev_.store().read(layout_.backupSlot(k), &hdr, sizeof(hdr));
+        if (hdr.magic == kBackupMagic && hdr.epoch > best)
+            best = hdr.epoch;
+    }
+    return best;
+}
+
+void
+ThyNvmController::recoverTo(std::uint64_t max_epoch,
+                            std::function<void()> done)
+{
+    for (unsigned k = 0; k < 2; ++k) {
+        BackupHeader hdr{};
+        nvm_dev_.store().read(layout_.backupSlot(k), &hdr, sizeof(hdr));
+        if (hdr.magic != kBackupMagic || hdr.epoch <= max_epoch)
+            continue;
+        panic_if(hdr.epoch > max_epoch + 1,
+                 "committed epoch beyond the recovery target + 1: the "
+                 "cross-channel commit barrier should bound the spread");
+        // This slot committed past the group minimum. The phase-1
+        // barrier guarantees the checkpoint never flipped, so the other
+        // slot still holds the target image intact. Invalidate the
+        // stale header durably (functional store write so it cannot be
+        // rolled back by a crash mid-recovery) and model the timed
+        // write; otherwise a crash while the epoch is re-executed and
+        // re-staged into this slot could resurrect the stale header
+        // over a half-rewritten image.
+        std::uint8_t zero_blk[kBlockSize] = {};
+        nvm_dev_.store().write(layout_.backupSlot(k), zero_blk,
+                               kBlockSize);
+        sendNvmWrite(layout_.backupSlot(k), zero_blk,
+                     TrafficSource::Recovery);
+    }
+    recover(std::move(done));
 }
 
 } // namespace thynvm

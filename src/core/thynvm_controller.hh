@@ -83,6 +83,10 @@ class ThyNvmController : public MemController
     void start() override;
     void crash() override;
     void recover(std::function<void()> done) override;
+    void recoverTo(std::uint64_t max_epoch,
+                   std::function<void()> done) override;
+    std::uint64_t committedEpoch() const override;
+    void halt() override;
     void persistCpuState(const std::vector<std::uint8_t>& blob) override;
     const std::vector<std::uint8_t>& recoveredCpuState() const override
     {
@@ -123,7 +127,7 @@ class ThyNvmController : public MemController
      * Request an early epoch boundary (explicit persistence interface,
      * paper §6; also used on table overflow).
      */
-    void requestEpochEnd();
+    void requestEpochEnd() override;
 
   private:
     // ------------------------------------------------------------------
@@ -264,6 +268,7 @@ class ThyNvmController : public MemController
 
     std::uint64_t epoch_ = 1;
     bool started_ = false;
+    bool halted_ = false;
     bool ckpt_in_progress_ = false;
     bool boundary_requested_ = false;
     bool boundary_in_progress_ = false;

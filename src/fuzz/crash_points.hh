@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "common/types.hh"
@@ -66,10 +67,20 @@ class CrashPointRegistry
         fired_tick_ = 0;
     }
 
-    /** Announce one hit of @p site at tick @p now (controllers only). */
+    /**
+     * Announce one hit of @p site at tick @p now (controllers only).
+     *
+     * Thread-safe: with a multi-channel System on the sharded kernel,
+     * channel shards announce their (channel-prefixed) sites from
+     * different worker threads. Site names are single-shard — each
+     * channel prefixes its own — so per-site hit ordinals stay
+     * deterministic; the lock only protects the shared map. Drivers
+     * read fired()/sites() after the kernel run has joined.
+     */
     void
     hit(const char* site, Tick now)
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         SiteStats& s = sites_[site];
         if (s.hits == 0)
             s.first_tick = now;
@@ -106,6 +117,7 @@ class CrashPointRegistry
     }
 
   private:
+    std::mutex mutex_;
     std::map<std::string, SiteStats> sites_;
     std::string armed_site_;
     std::uint64_t armed_hit_ = 0;

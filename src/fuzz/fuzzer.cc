@@ -98,6 +98,10 @@ formatRepro(const FuzzCase& c)
        << ":sys=" << systemToken(c.system) << ":site=" << c.site
        << ":hit=" << c.hit << ":delta=" << c.delta
        << ":fp=" << (c.fast_path ? "on" : "off");
+    // Only multi-channel cases carry the topology; the default (0,
+    // env-deferred) keeps pre-existing repro lists byte-identical.
+    if (c.channels != 0)
+        os << ":ch=" << c.channels;
     return os.str();
 }
 
@@ -140,6 +144,8 @@ parseRepro(const std::string& repro, FuzzCase& out)
                 if (val != "on" && val != "off")
                     return false;
                 c.fast_path = (val == "on");
+            } else if (key == "ch") {
+                c.channels = static_cast<unsigned>(std::stoul(val));
             } else {
                 return false;
             }
@@ -184,10 +190,12 @@ microParams(const FuzzerConfig& fc, std::uint64_t seed,
 }
 
 SystemConfig
-makeSystemConfig(const FuzzerConfig& fc, SystemKind kind, bool fast_path)
+makeSystemConfig(const FuzzerConfig& fc, SystemKind kind, bool fast_path,
+                 unsigned channels)
 {
     SystemConfig cfg;
     cfg.kind = kind;
+    cfg.channels = channels;
     cfg.phys_size = fc.phys_size;
     cfg.epoch_length = fc.epoch_length;
     cfg.thynvm.btt_entries = fc.btt_entries;
@@ -239,38 +247,78 @@ runCrashCase(const FuzzerConfig& fc, const FuzzCase& c)
     CaseResult res;
     res.repro = formatRepro(c);
 
+    const unsigned env_ch = channelsFromEnv();
+    const unsigned eff_channels =
+        c.channels != 0 ? c.channels : (env_ch != 0 ? env_ch : 1);
+
     // Life 1: run the seeded workload into the armed crash plan.
-    CrashPointRegistry reg;
-    reg.arm(c.site, c.hit, c.delta);
     MicroWorkload inner1(microParams(fc, c.seed, c.workload));
     RecordingWorkload wl1(inner1);
-    SystemConfig cfg = makeSystemConfig(fc, c.system, c.fast_path);
+    SystemConfig cfg = makeSystemConfig(fc, c.system, c.fast_path,
+                                        c.channels);
+    CrashPointRegistry reg;
+    reg.arm(c.site, c.hit, c.delta);
     cfg.crash_points = &reg;
     System sys(cfg, wl1);
-    sys.start();
-    const std::vector<std::uint8_t> base = captureImage(sys, fc.phys_size);
+    std::vector<std::uint8_t> base;
+    std::shared_ptr<BackingStore> nvm;
 
-    EventQueue& eq = sys.eventq();
-    while (!sys.finished() && !reg.fired() && !eq.empty() &&
-           eq.now() < fc.run_limit) {
-        eq.step();
+    if (eff_channels == 1) {
+        sys.start();
+        base = captureImage(sys, fc.phys_size);
+        EventQueue& eq = sys.eventq();
+        while (!sys.finished() && !reg.fired() && !eq.empty() &&
+               eq.now() < fc.run_limit) {
+            eq.step();
+        }
+        if (!reg.fired()) {
+            res.status = CaseStatus::NotReached;
+            return res;
+        }
+        // Land the power failure on a tick boundary: drain every event
+        // at or before the planned crash tick, then pull the plug.
+        while (!eq.empty() && eq.nextTick() <= reg.crashTick())
+            eq.step();
+        res.crash_tick = eq.now();
+        res.commits_before = sys.controller().completedEpochs();
+        nvm = sys.crash();
+    } else {
+        // A multi-channel run executes on the sharded kernel, which
+        // cannot be single-stepped against a fired() poll. Instead:
+        // profile an identical armed run to completion to learn the
+        // crash tick, then replay a fresh machine (the oracle's life 1)
+        // deterministically up to exactly that tick.
+        Tick cut;
+        {
+            CrashPointRegistry preg;
+            preg.arm(c.site, c.hit, c.delta);
+            MicroWorkload pinner(microParams(fc, c.seed, c.workload));
+            RecordingWorkload pwl(pinner);
+            SystemConfig pcfg = makeSystemConfig(fc, c.system,
+                                                 c.fast_path, c.channels);
+            pcfg.crash_points = &preg;
+            System psys(pcfg, pwl);
+            psys.start();
+            psys.run(fc.run_limit);
+            if (!preg.fired() || preg.crashTick() >= fc.run_limit) {
+                res.status = CaseStatus::NotReached;
+                return res;
+            }
+            cut = preg.crashTick();
+        }
+        sys.start();
+        base = captureImage(sys, fc.phys_size);
+        sys.runTo(cut);
+        res.crash_tick = sys.eventq().now();
+        res.commits_before = sys.controller().completedEpochs();
+        nvm = sys.crash();
     }
-    if (!reg.fired()) {
-        res.status = CaseStatus::NotReached;
-        return res;
-    }
-    // Land the power failure on a tick boundary: drain every event at
-    // or before the planned crash tick, then pull the plug.
-    while (!eq.empty() && eq.nextTick() <= reg.crashTick())
-        eq.step();
-    res.crash_tick = eq.now();
-    res.commits_before = sys.controller().completedEpochs();
-    std::shared_ptr<BackingStore> nvm = sys.crash();
 
     // Life 2: reboot on the surviving NVM image and recover.
     MicroWorkload inner2(microParams(fc, c.seed, c.workload));
     RecordingWorkload wl2(inner2);
-    SystemConfig cfg2 = makeSystemConfig(fc, c.system, c.fast_path);
+    SystemConfig cfg2 = makeSystemConfig(fc, c.system, c.fast_path,
+                                         c.channels);
     System sys2(cfg2, wl2, std::move(nvm));
     sys2.recoverAndResume();
 
@@ -352,12 +400,12 @@ runCrashCase(const FuzzerConfig& fc, const FuzzCase& c)
 std::map<std::string, std::uint64_t>
 enumerateSites(const FuzzerConfig& fc, std::uint64_t seed,
                const std::string& workload, SystemKind kind,
-               bool fast_path)
+               bool fast_path, unsigned channels)
 {
     CrashPointRegistry reg; // unarmed: counts only
     MicroWorkload inner(microParams(fc, seed, workload));
     RecordingWorkload wl(inner);
-    SystemConfig cfg = makeSystemConfig(fc, kind, fast_path);
+    SystemConfig cfg = makeSystemConfig(fc, kind, fast_path, channels);
     cfg.crash_points = &reg;
     System sys(cfg, wl);
     sys.start();
@@ -408,7 +456,7 @@ runCampaign(const FuzzerConfig& fc, const CampaignOptions& opts,
         [&](std::size_t i) {
             const Combo& co = combos[i];
             sites[i] = enumerateSites(fc, co.seed, co.workload, co.kind,
-                                      co.fp);
+                                      co.fp, opts.channels);
         },
         threads);
 
@@ -434,6 +482,7 @@ runCampaign(const FuzzerConfig& fc, const CampaignOptions& opts,
                     c.hit = hit;
                     c.delta = delta;
                     c.fast_path = co.fp;
+                    c.channels = opts.channels;
                     plan.push_back(std::move(c));
                 }
             }

@@ -135,6 +135,12 @@ struct FuzzCase
     Tick delta = 0;
     /** Run with the synchronous hit fast path enabled. */
     bool fast_path = true;
+    /**
+     * Memory-channel count: 0 defers to THYNVM_CHANNELS (unset = 1),
+     * matching SystemConfig. Only emitted into repro strings when
+     * non-zero, so pre-existing repro lists are unchanged.
+     */
+    unsigned channels = 0;
 };
 
 /** One-line repro string, e.g.
@@ -179,7 +185,7 @@ MicroWorkload::Params microParams(const FuzzerConfig& fc,
 
 /** SystemConfig for a case (no registry attached). */
 SystemConfig makeSystemConfig(const FuzzerConfig& fc, SystemKind kind,
-                              bool fast_path);
+                              bool fast_path, unsigned channels = 0);
 
 enum class CaseStatus
 {
@@ -215,7 +221,7 @@ CaseResult runCrashCase(const FuzzerConfig& fc, const FuzzCase& c);
 std::map<std::string, std::uint64_t>
 enumerateSites(const FuzzerConfig& fc, std::uint64_t seed,
                const std::string& workload, SystemKind kind,
-               bool fast_path);
+               bool fast_path, unsigned channels = 0);
 
 /** Which cases a campaign covers. */
 struct CampaignOptions
@@ -231,6 +237,13 @@ struct CampaignOptions
     bool first_and_last_hit = true;
     /** Extra tick offsets past the firing hit. */
     std::vector<Tick> deltas = {0};
+    /**
+     * Memory-channel count for every case (0 = THYNVM_CHANNELS env;
+     * see FuzzCase::channels). Multi-channel campaigns exercise the
+     * cross-channel coordinator's crash-ordering windows — the
+     * group.* barrier sites and every per-channel chN.* site.
+     */
+    unsigned channels = 0;
 };
 
 struct CampaignResult

@@ -14,7 +14,6 @@ SystemGroup::add(System& sys)
 {
     const unsigned id = static_cast<unsigned>(systems_.size());
     systems_.push_back(&sys);
-    sys.setShard(id);
     return id;
 }
 
@@ -25,14 +24,12 @@ SystemGroup::run(unsigned threads, Tick limit, ThreadPool* pool)
         return 0;
 
     // The kernel references the systems directly; build it per run so
-    // a group can be re-run (e.g., after adding more systems).
+    // a group can be re-run (e.g., after adding more systems). Each
+    // system registers its core shard plus, on multi-channel
+    // topologies, one linked shard per channel.
     ShardedKernel kernel;
-    for (System* sys : systems_) {
-        kernel.addShard(sys->controller().name(), sys->eventq(),
-                        [sys, limit](Tick window_end) {
-                            return sys->stepWindow(window_end, limit);
-                        });
-    }
+    for (System* sys : systems_)
+        sys->registerShards(kernel, limit);
 
     // Checkpoint-epoch boundaries are global barriers: align windows
     // to the smallest epoch so no shard starts epoch k+1 before every
@@ -45,6 +42,8 @@ SystemGroup::run(unsigned threads, Tick limit, ThreadPool* pool)
 
     const Tick last = kernel.run(threads, pool);
     windows_ = kernel.windowsExecuted();
+    for (System* sys : systems_)
+        sys->detachKernel();
     return last;
 }
 

@@ -3,20 +3,21 @@
  * Joint deterministic simulation of several Systems on the sharded
  * event kernel (sim/shard.hh, DESIGN.md §8).
  *
- * Each System occupies one shard: the machine is a single memory
- * channel today, and every component of a channel (CPU, caches,
- * controller, devices) exchanges same-tick calls, so the channel is
- * the unit of shard affinity. A SystemGroup co-schedules N such
- * shards across host worker threads with checkpoint-epoch boundaries
- * as global barriers, and guarantees that every System executes
- * exactly the event sequence of its solo serial run — dumpStats()
+ * The unit of shard affinity is the memory channel: every component
+ * that exchanges same-tick calls (CPU + caches + controller front-end
+ * on the core shard; each channel's controller + devices on its own
+ * shard) steps together. A single-channel System is one shard; a
+ * multi-channel System registers one core shard plus one shard per
+ * channel, linked with the cross-channel device latency as lookahead
+ * (harness/channel_group.hh). A SystemGroup co-schedules all shards
+ * across host worker threads with checkpoint-epoch boundaries as
+ * global barriers, and guarantees that every System executes exactly
+ * the event sequence of its one-worker kernel run — dumpStats()
  * output and final ticks are byte-identical for any thread count.
  *
  * This is the host-parallelism substrate for the fuzz campaign, the
- * benchmark grids, and the THYNVM_SIM_THREADS escape hatch; when the
- * multi-channel topology lands, channels of one machine become
- * multiple shards of one System here, linked with the minimum
- * cross-channel device latency as lookahead.
+ * benchmark grids, and the THYNVM_SIM_THREADS escape hatch — which,
+ * combined with the channels knob, parallelizes a *single* run.
  */
 
 #ifndef THYNVM_HARNESS_SHARD_GROUP_HH
@@ -41,9 +42,10 @@ class SystemGroup
     SystemGroup& operator=(const SystemGroup&) = delete;
 
     /**
-     * Add a system (not owned; must outlive the group). Tags every
-     * component of the system with its shard id.
-     * @return the shard id.
+     * Add a system (not owned; must outlive the group). Shard ids are
+     * assigned at run() time, when each system registers its core
+     * shard and any per-channel shards with the kernel.
+     * @return the system's index in the group.
      */
     unsigned add(System& sys);
 

@@ -31,6 +31,24 @@ System::System(const SystemConfig& cfg, Workload& workload,
                std::shared_ptr<BackingStore> nvm_store)
     : cfg_(cfg), workload_(workload)
 {
+    channels_ = cfg_.channels != 0 ? cfg_.channels : channelsFromEnv();
+    if (channels_ == 0)
+        channels_ = 1;
+    if (channels_ > 1) {
+        ChannelGroup::Config gc;
+        gc.kind = cfg_.kind;
+        gc.channels = channels_;
+        gc.phys_size = cfg_.phys_size;
+        gc.epoch_length = cfg_.epoch_length;
+        gc.thynvm = cfg_.thynvm;
+        auto grp = std::make_unique<ChannelGroup>(eq_, "sys.ctrl", gc,
+                                                  std::move(nvm_store));
+        grp->setResumeClient([this] { cpu_->resume(); });
+        group_ = grp.get();
+        controller_ = std::move(grp);
+        buildAboveController();
+        return;
+    }
     switch (cfg_.kind) {
       case SystemKind::IdealDram:
         controller_ = std::make_unique<IdealController>(
@@ -75,6 +93,12 @@ System::System(const SystemConfig& cfg, Workload& workload,
       }
     }
 
+    buildAboveController();
+}
+
+void
+System::buildAboveController()
+{
     controller_->setCrashPoints(cfg_.crash_points);
 
     BlockAccessor* below = controller_.get();
@@ -174,7 +198,10 @@ System::run(Tick duration)
     const Tick limit =
         duration == kMaxTick ? kMaxTick : eq_.now() + duration;
     const unsigned threads = simThreads();
-    if (threads > 1) {
+    // A multi-channel topology always runs on the sharded kernel (its
+    // channel queues are shards), even with one worker thread — the
+    // kernel's one-worker schedule is the serial reference.
+    if (threads > 1 || group_ != nullptr) {
         SystemGroup group;
         group.add(*this);
         group.run(threads, limit);
@@ -183,6 +210,63 @@ System::run(Tick duration)
     while (!cpu_->finished() && eq_.now() < limit && !eq_.empty())
         eq_.step();
     return eq_.now();
+}
+
+unsigned
+System::registerShards(ShardedKernel& kernel, Tick limit)
+{
+    const unsigned core = kernel.addShard(
+        controller_->name(), eq_, [this, limit](Tick window_end) {
+            const bool more = stepWindow(window_end, limit);
+            // A finished workload halts the channels so their epoch
+            // timers stop re-arming and the kernel can terminate.
+            if (group_ != nullptr && cpu_->finished())
+                group_->postHalt();
+            return more;
+        });
+    setShard(core);
+    if (group_ != nullptr)
+        group_->registerShards(kernel, core, limit);
+    return core;
+}
+
+void
+System::detachKernel()
+{
+    if (group_ != nullptr)
+        group_->detachKernel();
+}
+
+void
+System::runTo(Tick cut)
+{
+    if (group_ == nullptr) {
+        while (!eq_.empty() && eq_.nextTick() <= cut)
+            eq_.step();
+        return;
+    }
+    // Bounded kernel run: every shard executes exactly the events with
+    // tick <= cut that a full run would execute — the deterministic
+    // prefix. The step conditions (including the finished-workload
+    // halt) mirror registerShards() exactly, so the window schedule
+    // and every message-delivery tick agree with the full run up to
+    // the cut.
+    ShardedKernel kernel;
+    const unsigned core = kernel.addShard(
+        controller_->name(), eq_, [this, cut](Tick window_end) {
+            while (!cpu_->finished() && !eq_.empty() &&
+                   eq_.nextTick() < window_end && eq_.nextTick() <= cut)
+                eq_.step();
+            if (cpu_->finished())
+                group_->postHalt();
+            return !cpu_->finished() && !eq_.empty() &&
+                   eq_.nextTick() <= cut;
+        });
+    setShard(core);
+    group_->registerShards(kernel, core, kMaxTick, cut);
+    kernel.setBarrierPeriod(cfg_.epoch_length);
+    kernel.run(simThreads());
+    detachKernel();
 }
 
 bool
@@ -243,6 +327,9 @@ System::dumpStats(std::ostream& os)
         d->stats().dump(os);
     if (MemDevice* d = controller_->dramDevice())
         d->stats().dump(os);
+    // Multi-channel topologies dump every channel's controller and
+    // devices here; single-channel dumps are unchanged (no-op).
+    controller_->dumpExtraStats(os);
 }
 
 RunMetrics
@@ -257,17 +344,15 @@ System::metrics() const
                        : 0.0;
 
     // NVM traffic: for Ideal DRAM there is no NVM device; Figure 10
-    // then reports DRAM write bandwidth instead.
+    // then reports DRAM write bandwidth instead. The virtuals sum
+    // across channels on a multi-channel topology.
     auto* ctrl = const_cast<MemController*>(controller_.get());
-    if (MemDevice* nvm = ctrl->nvmDevice()) {
-        m.nvm_wr_cpu = nvm->writeBytes(TrafficSource::CpuWriteback) +
-                       nvm->writeBytes(TrafficSource::DemandRead);
-        m.nvm_wr_ckpt = nvm->writeBytes(TrafficSource::Checkpoint);
-        m.nvm_wr_migration = nvm->writeBytes(TrafficSource::Migration);
-        m.nvm_wr_total = nvm->totalWriteBytes();
-    }
-    if (MemDevice* dram = ctrl->dramDevice())
-        m.dram_wr_total = dram->totalWriteBytes();
+    m.nvm_wr_cpu = ctrl->nvmWriteBytes(TrafficSource::CpuWriteback) +
+                   ctrl->nvmWriteBytes(TrafficSource::DemandRead);
+    m.nvm_wr_ckpt = ctrl->nvmWriteBytes(TrafficSource::Checkpoint);
+    m.nvm_wr_migration = ctrl->nvmWriteBytes(TrafficSource::Migration);
+    m.nvm_wr_total = ctrl->nvmTotalWriteBytes();
+    m.dram_wr_total = ctrl->dramTotalWriteBytes();
 
     m.ckpt_time_frac =
         m.exec_time > 0

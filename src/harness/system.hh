@@ -22,21 +22,10 @@
 #include "cache/cache.hh"
 #include "core/thynvm_controller.hh"
 #include "cpu/cpu.hh"
+#include "harness/channel_group.hh"
+#include "harness/system_kind.hh"
 
 namespace thynvm {
-
-/** Which of the paper's five evaluated systems to build (§5.1). */
-enum class SystemKind
-{
-    IdealDram,
-    IdealNvm,
-    Journal,
-    Shadow,
-    ThyNvm,
-};
-
-/** Human-readable system name as used in the paper's figures. */
-const char* systemKindName(SystemKind kind);
 
 /**
  * Configuration of a full system instance.
@@ -60,6 +49,19 @@ struct SystemConfig
      * this is the escape hatch back to serial if it ever does not.
      */
     unsigned sim_threads = 0;
+
+    /**
+     * Memory-channel count: 0 defers to the THYNVM_CHANNELS
+     * environment variable (unset = 1), 1 is the classic
+     * single-controller topology, >1 (a power of two) interleaves the
+     * physical space over that many channels at cache-block
+     * granularity, each channel an independent controller + device set
+     * on its own kernel shard (harness/channel_group.hh). Combined
+     * with sim_threads / THYNVM_SIM_THREADS > 1 this parallelizes a
+     * *single* System run; stats stay byte-identical at every thread
+     * count for a fixed channel count.
+     */
+    unsigned channels = 0;
 
     /** ThyNVM-specific knobs (phys_size/epoch_length are copied in). */
     ThyNvmConfig thynvm;
@@ -146,6 +148,28 @@ class System
      */
     void setShard(unsigned shard);
 
+    /**
+     * Register this system's shards with @p kernel: the core shard
+     * (CPU + caches + controller front-end) plus, on a multi-channel
+     * topology, one shard per channel linked to the core with the
+     * cross-channel lookahead. @return the core shard id.
+     */
+    unsigned registerShards(ShardedKernel& kernel, Tick limit);
+
+    /** Forget the kernel after a sharded run. */
+    void detachKernel();
+
+    /**
+     * Deterministically execute exactly the events with tick <= @p cut
+     * (the fuzzer's crash-cut replay). Multi-channel topologies run a
+     * bounded kernel; the executed prefix is identical to a full run
+     * truncated at @p cut.
+     */
+    void runTo(Tick cut);
+
+    /** Effective channel count of this topology (>= 1). */
+    unsigned channels() const { return channels_; }
+
     /** Effective sharded-kernel worker count for standalone runs. */
     unsigned simThreads() const;
 
@@ -182,6 +206,7 @@ class System
     const SystemConfig& config() const { return cfg_; }
 
   private:
+    void buildAboveController();
     void wireFlushClient();
     void flushCaches(std::function<void()> done);
 
@@ -189,6 +214,9 @@ class System
     Workload& workload_;
     EventQueue eq_;
     std::unique_ptr<MemController> controller_;
+    /** Non-null when channels_ > 1; owned via controller_. */
+    ChannelGroup* group_ = nullptr;
+    unsigned channels_ = 1;
     std::unique_ptr<Cache> l3_;
     std::unique_ptr<Cache> l2_;
     std::unique_ptr<Cache> l1_;

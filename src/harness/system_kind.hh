@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The five evaluated system kinds (paper §5.1), split out of system.hh
+ * so the multi-channel group — which the System embeds — can name them
+ * without a circular include.
+ */
+
+#ifndef THYNVM_HARNESS_SYSTEM_KIND_HH
+#define THYNVM_HARNESS_SYSTEM_KIND_HH
+
+namespace thynvm {
+
+/** Which of the paper's five evaluated systems to build (§5.1). */
+enum class SystemKind
+{
+    IdealDram,
+    IdealNvm,
+    Journal,
+    Shadow,
+    ThyNvm,
+};
+
+/** Human-readable system name as used in the paper's figures. */
+const char* systemKindName(SystemKind kind);
+
+} // namespace thynvm
+
+#endif // THYNVM_HARNESS_SYSTEM_KIND_HH

@@ -24,22 +24,50 @@ namespace thynvm {
 
 /**
  * A flat byte array addressed by device-local addresses.
+ *
+ * A store is either a *root* (owns its bytes) or a *view* over a
+ * contiguous sub-range of a parent store. Views are how a multi-channel
+ * machine carves one crash-surviving NVM image into per-channel device
+ * stores: each channel addresses its slice with channel-local addresses
+ * while the root handle is what survives System::crash().
  */
 class BackingStore
 {
   public:
-    /** Create a zero-initialized store of @p capacity bytes. */
-    explicit BackingStore(std::size_t capacity) : bytes_(capacity, 0) {}
+    /** Create a zero-initialized root store of @p capacity bytes. */
+    explicit BackingStore(std::size_t capacity)
+        : bytes_(capacity, 0), base_(bytes_.data()), size_(capacity)
+    {}
+
+    /**
+     * Create a view over bytes [@p offset, @p offset + @p capacity) of
+     * @p parent. The view shares the parent's storage (writes through
+     * either are visible to both) and keeps the parent alive.
+     */
+    BackingStore(std::shared_ptr<BackingStore> parent, std::size_t offset,
+                 std::size_t capacity)
+        : parent_(std::move(parent)),
+          base_(nullptr),
+          size_(capacity)
+    {
+        panic_if(parent_ == nullptr, "backing-store view of null parent");
+        panic_if(offset + capacity > parent_->size_ ||
+                     offset + capacity < offset,
+                 "backing-store view out of range: offset=%zu len=%zu "
+                 "parent=%zu",
+                 offset, capacity, parent_->size_);
+        base_ = parent_->base_ + offset;
+    }
 
     /** Capacity in bytes. */
-    std::size_t size() const { return bytes_.size(); }
+    std::size_t size() const { return size_; }
 
     /** Read @p len bytes at @p addr into @p buf. */
     void
     read(Addr addr, void* buf, std::size_t len) const
     {
         checkRange(addr, len);
-        std::memcpy(buf, bytes_.data() + addr, len);
+        std::memcpy(buf, base_ + addr, len);
     }
 
     /** Write @p len bytes from @p buf at @p addr. */
@@ -47,7 +75,7 @@ class BackingStore
     write(Addr addr, const void* buf, std::size_t len)
     {
         checkRange(addr, len);
-        std::memcpy(bytes_.data() + addr, buf, len);
+        std::memcpy(base_ + addr, buf, len);
     }
 
     /** Fill @p len bytes at @p addr with @p value. */
@@ -55,30 +83,31 @@ class BackingStore
     fill(Addr addr, std::uint8_t value, std::size_t len)
     {
         checkRange(addr, len);
-        std::memset(bytes_.data() + addr, value, len);
+        std::memset(base_ + addr, value, len);
     }
 
     /** Direct pointer access for bulk comparison in tests. */
-    const std::uint8_t* data() const { return bytes_.data(); }
+    const std::uint8_t* data() const { return base_; }
 
-    /** Zero the entire store (models loss of volatile contents). */
+    /** Zero the store (views zero only their range). */
     void
     clear()
     {
-        std::fill(bytes_.begin(), bytes_.end(), 0);
+        std::memset(base_, 0, size_);
     }
 
     /**
-     * Deep copy of the current contents. Crash tests use clones to
-     * recover the same surviving image several times independently
-     * (recovery may legitimately write to the store, e.g. a journal
-     * replay, so sharing one store would couple the attempts).
+     * Deep copy of the current contents (views copy only their range,
+     * into a fresh root store). Crash tests use clones to recover the
+     * same surviving image several times independently (recovery may
+     * legitimately write to the store, e.g. a journal replay, so
+     * sharing one store would couple the attempts).
      */
     std::shared_ptr<BackingStore>
     clone() const
     {
-        auto copy = std::make_shared<BackingStore>(bytes_.size());
-        copy->bytes_ = bytes_;
+        auto copy = std::make_shared<BackingStore>(size_);
+        std::memcpy(copy->base_, base_, size_);
         return copy;
     }
 
@@ -86,13 +115,16 @@ class BackingStore
     void
     checkRange(Addr addr, std::size_t len) const
     {
-        panic_if(addr + len > bytes_.size() || addr + len < addr,
+        panic_if(addr + len > size_ || addr + len < addr,
                  "backing store access out of range: addr=%llu len=%zu "
                  "capacity=%zu",
-                 static_cast<unsigned long long>(addr), len, bytes_.size());
+                 static_cast<unsigned long long>(addr), len, size_);
     }
 
-    std::vector<std::uint8_t> bytes_;
+    std::vector<std::uint8_t> bytes_; //!< root storage (empty in views)
+    std::shared_ptr<BackingStore> parent_; //!< keep-alive (views only)
+    std::uint8_t* base_;
+    std::size_t size_;
 };
 
 } // namespace thynvm

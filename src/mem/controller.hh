@@ -13,6 +13,8 @@
 #define THYNVM_MEM_CONTROLLER_HH
 
 #include <functional>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "fuzz/crash_points.hh"
@@ -130,17 +132,91 @@ class MemController : public SimObject, public BlockAccessor
      */
     virtual void recover(std::function<void()> done) = 0;
 
+    /**
+     * Like recover(), but restore the newest durable checkpoint whose
+     * epoch number is <= @p max_epoch. A multi-channel machine recovers
+     * every channel to the *minimum* epoch committed across channels so
+     * the assembled image is one consistent cut; the two-phase commit
+     * barrier bounds the spread to one epoch, and nothing a channel
+     * writes before the second barrier destroys the previous epoch's
+     * image, so the older checkpoint is always intact. @p max_epoch 0
+     * recovers the pristine (pre-first-commit) state. Controllers
+     * without epochs fall back to recover().
+     */
+    virtual void
+    recoverTo(std::uint64_t max_epoch, std::function<void()> done)
+    {
+        (void)max_epoch;
+        recover(std::move(done));
+    }
+
+    /**
+     * Epoch number of the newest durably committed checkpoint, read
+     * from the surviving NVM image with no timing effect (valid after
+     * crash(), before recovery). 0 = nothing committed yet. The
+     * channel-group coordinator probes every channel and takes the
+     * minimum as the recovery target.
+     */
+    virtual std::uint64_t committedEpoch() const { return 0; }
+
+    /**
+     * Force an epoch boundary at the next safe point (no-op for
+     * non-checkpointing controllers). The channel-group coordinator
+     * uses this as the ccnvme-style epoch-advance nudge so every
+     * channel joins the same numbered boundary.
+     */
+    virtual void requestEpochEnd() {}
+
+    /**
+     * Stop initiating new epoch boundaries (a finished workload is
+     * being drained). An in-flight checkpoint still completes; only
+     * timer re-arming is suppressed, so a halted channel's event queue
+     * drains to empty and the sharded kernel can terminate.
+     */
+    virtual void halt() {}
+
     /** Register the CPU-side flush client used during checkpointing. */
     void setFlushClient(FlushClient client) { flush_ = std::move(client); }
 
     /**
+     * A commit gate interposes on the two durability edges of a
+     * checkpoint commit: phase 0 fires when the checkpoint image is
+     * staged and durable (before the commit header is written), phase 1
+     * when the header is durable (before the commit point is flipped /
+     * applied destructively). The gate must eventually invoke the
+     * resume continuation; the default (no gate) resumes inline, which
+     * is byte-for-byte the single-channel pipeline. The channel-group
+     * coordinator registers a gate that turns both edges into
+     * cross-channel barriers.
+     */
+    using CommitGateFn =
+        std::function<void(unsigned phase, std::function<void()> resume)>;
+    void setCommitGate(CommitGateFn gate) { commit_gate_ = std::move(gate); }
+
+    /**
      * Attach a crash-point registry; every controller announces its
      * checkpoint-pipeline steps to it via crashPoint(). Detached (the
-     * default) the instrumentation is a single null check.
+     * default) the instrumentation is a single null check. Virtual so
+     * composite controllers (the channel group) can propagate the
+     * registry to their nested per-channel controllers.
      */
-    void setCrashPoints(CrashPointRegistry* reg) { crash_points_ = reg; }
+    virtual void setCrashPoints(CrashPointRegistry* reg)
+    {
+        crash_points_ = reg;
+    }
     /** The attached registry, if any. */
     CrashPointRegistry* crashPoints() const { return crash_points_; }
+
+    /**
+     * Prefix every crash-site name this controller announces (e.g.
+     * "ch2."). Per-channel prefixes keep each site single-shard, so
+     * hit ordinals stay deterministic when channel shards run on
+     * different worker threads.
+     */
+    void setCrashSitePrefix(std::string prefix)
+    {
+        site_prefix_ = std::move(prefix);
+    }
 
     /**
      * Shard affinity: a controller and the devices it drives exchange
@@ -167,6 +243,37 @@ class MemController : public SimObject, public BlockAccessor
         return nullptr;
     }
 
+    /**
+     * Dump stats of any nested components this controller owns beyond
+     * its own devices (the channel group dumps every channel's
+     * controller and devices here). Default: nothing.
+     */
+    virtual void dumpExtraStats(std::ostream& os) { (void)os; }
+
+    /**
+     * Traffic roll-ups for RunMetrics. The defaults read this
+     * controller's own devices; the channel group overrides them to
+     * sum across channels (its own nvmDevice()/dramDevice() are null).
+     */
+    virtual std::uint64_t
+    nvmWriteBytes(TrafficSource source)
+    {
+        MemDevice* d = nvmDevice();
+        return d != nullptr ? d->writeBytes(source) : 0;
+    }
+    virtual std::uint64_t
+    nvmTotalWriteBytes()
+    {
+        MemDevice* d = nvmDevice();
+        return d != nullptr ? d->totalWriteBytes() : 0;
+    }
+    virtual std::uint64_t
+    dramTotalWriteBytes()
+    {
+        MemDevice* d = dramDevice();
+        return d != nullptr ? d->totalWriteBytes() : 0;
+    }
+
     /** Ticks execution was blocked due to checkpointing. */
     Tick
     checkpointStallTime() const
@@ -186,11 +293,31 @@ class MemController : public SimObject, public BlockAccessor
     void
     crashPoint(const char* site)
     {
-        if (crash_points_ != nullptr)
+        if (crash_points_ == nullptr)
+            return;
+        if (site_prefix_.empty())
             crash_points_->hit(site, curTick());
+        else
+            crash_points_->hit((site_prefix_ + site).c_str(), curTick());
+    }
+
+    /**
+     * Pass a commit-durability edge through the registered gate (or
+     * straight through when none is registered — the single-channel
+     * pipeline, unchanged).
+     */
+    void
+    commitGate(unsigned phase, std::function<void()> resume)
+    {
+        if (commit_gate_)
+            commit_gate_(phase, std::move(resume));
+        else
+            resume();
     }
 
     FlushClient flush_;
+    CommitGateFn commit_gate_;
+    std::string site_prefix_;
     CrashPointRegistry* crash_points_ = nullptr;
     stats::Scalar epochs_;
     stats::Scalar ckpt_stall_time_;

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cache-block-granularity address interleaving across memory channels.
+ *
+ * A multi-channel machine distributes the software-visible physical
+ * address space round-robin over its channels at cache-block (64 B)
+ * granularity, the finest grain the controllers operate at: block i
+ * lives on channel i mod C. Each channel then sees a dense, contiguous
+ * *local* physical space of phys_size / C bytes, so an unmodified
+ * single-channel controller can serve it — the interleaver is the only
+ * component that knows about the global layout.
+ *
+ * Channel counts are restricted to powers of two so the mapping is a
+ * shift and a mask on the block index (real memory controllers make
+ * the same choice for the same reason).
+ */
+
+#ifndef THYNVM_MEM_INTERLEAVE_HH
+#define THYNVM_MEM_INTERLEAVE_HH
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace thynvm {
+
+/**
+ * Maps global physical block addresses to (channel, local address)
+ * pairs and back.
+ */
+class ChannelInterleaver
+{
+  public:
+    /** @param channels channel count; must be a nonzero power of two. */
+    explicit ChannelInterleaver(unsigned channels) : channels_(channels)
+    {
+        fatal_if(channels == 0 || (channels & (channels - 1)) != 0,
+                 "channel count must be a nonzero power of two, got %u",
+                 channels);
+        while ((1u << log2_) < channels)
+            ++log2_;
+    }
+
+    /** Number of channels. */
+    unsigned channels() const { return channels_; }
+
+    /** Channel owning the block that contains @p paddr. */
+    unsigned
+    channelOf(Addr paddr) const
+    {
+        return static_cast<unsigned>((paddr / kBlockSize) &
+                                     (channels_ - 1));
+    }
+
+    /** Address of @p paddr within its owning channel's local space. */
+    Addr
+    localAddr(Addr paddr) const
+    {
+        const Addr block = paddr / kBlockSize;
+        return (block >> log2_) * kBlockSize + paddr % kBlockSize;
+    }
+
+    /** Inverse mapping: global address of @p local on @p channel. */
+    Addr
+    globalAddr(unsigned channel, Addr local) const
+    {
+        panic_if(channel >= channels_, "channel index out of range");
+        const Addr block = local / kBlockSize;
+        return ((block << log2_) | channel) * kBlockSize +
+               local % kBlockSize;
+    }
+
+    /**
+     * Local physical space each channel serves for a @p phys_size
+     * global space. Must divide evenly into whole blocks per channel.
+     */
+    std::size_t
+    localCapacity(std::size_t phys_size) const
+    {
+        fatal_if(phys_size % (static_cast<std::size_t>(channels_) *
+                              kBlockSize) !=
+                     0,
+                 "physical size %zu not divisible into whole blocks "
+                 "across %u channels",
+                 phys_size, channels_);
+        return phys_size / channels_;
+    }
+
+  private:
+    unsigned channels_;
+    unsigned log2_ = 0;
+};
+
+} // namespace thynvm
+
+#endif // THYNVM_MEM_INTERLEAVE_HH

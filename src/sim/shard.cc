@@ -32,7 +32,8 @@ ShardedKernel::addShard(std::string name, EventQueue& eq)
 }
 
 void
-ShardedKernel::link(unsigned from, unsigned to, Tick lookahead)
+ShardedKernel::link(unsigned from, unsigned to, Tick lookahead,
+                    std::size_t capacity)
 {
     panic_if(from >= shards_.size() || to >= shards_.size(),
              "link endpoint out of range");
@@ -43,7 +44,7 @@ ShardedKernel::link(unsigned from, unsigned to, Tick lookahead)
     l.from = from;
     l.to = to;
     l.lookahead = lookahead;
-    l.mailbox = std::make_unique<SpscRing<Message>>(4096);
+    l.mailbox = std::make_unique<SpscRing<Message>>(capacity);
     links_.push_back(std::move(l));
 }
 

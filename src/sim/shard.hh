@@ -86,8 +86,15 @@ class ShardedKernel
      * message posted from @p from to @p to must be delivered at least
      * @p lookahead ticks after the tick it was posted at. The global
      * window size is the minimum lookahead over all links.
+     *
+     * @param capacity mailbox bound (messages posted but not yet
+     *        drained). Must cover the worst same-window burst: a
+     *        core-to-channel link sees a whole cache-flush wave of
+     *        writebacks in one window, so channel links are sized from
+     *        the cache capacity rather than the default.
      */
-    void link(unsigned from, unsigned to, Tick lookahead);
+    void link(unsigned from, unsigned to, Tick lookahead,
+              std::size_t capacity = 4096);
 
     /**
      * Clamp window edges to multiples of @p period (0 disables).

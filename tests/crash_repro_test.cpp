@@ -69,6 +69,10 @@ TEST(CrashRepro, ReplayIsDeterministic)
     c.system = SystemKind::ThyNvm;
     c.site = "ckpt.committed";
     c.hit = 1;
+    // Site names are unprefixed on the single-channel topology; pin it
+    // so a THYNVM_CHANNELS value in the environment cannot redirect
+    // this case (the multi-channel twin is below).
+    c.channels = 1;
 
     const CaseResult a = runCrashCase(fc, c);
     const CaseResult b = runCrashCase(fc, c);
@@ -80,6 +84,37 @@ TEST(CrashRepro, ReplayIsDeterministic)
     EXPECT_EQ(a.restored_ops, b.restored_ops);
     EXPECT_EQ(a.recovered_image, b.recovered_image);
     EXPECT_EQ(a.final_image, b.final_image);
+}
+
+/**
+ * Multi-channel replay determinism: crash at a per-channel site and at
+ * a cross-channel barrier site of a 2-channel topology; the profiled
+ * crash tick, the recovered image, and the final image must replay
+ * bit-identically.
+ */
+TEST(CrashRepro, MultiChannelReplayIsDeterministic)
+{
+    FuzzerConfig fc;
+    for (const char* site : {"ch0.ckpt.committed", "group.all_staged"}) {
+        FuzzCase c;
+        c.seed = test::loggedSeed("crash_repro.mc_determinism", 1);
+        c.workload = "rand";
+        c.system = SystemKind::ThyNvm;
+        c.site = site;
+        c.hit = 1;
+        c.channels = 2;
+
+        const CaseResult a = runCrashCase(fc, c);
+        const CaseResult b = runCrashCase(fc, c);
+
+        ASSERT_EQ(a.status, CaseStatus::Ok) << site << ": " << a.detail;
+        ASSERT_EQ(b.status, CaseStatus::Ok) << site << ": " << b.detail;
+        EXPECT_EQ(a.crash_tick, b.crash_tick) << site;
+        EXPECT_EQ(a.commits_before, b.commits_before) << site;
+        EXPECT_EQ(a.restored_ops, b.restored_ops) << site;
+        EXPECT_EQ(a.recovered_image, b.recovered_image) << site;
+        EXPECT_EQ(a.final_image, b.final_image) << site;
+    }
 }
 
 /**

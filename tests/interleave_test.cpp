@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Address-math tests for the multi-channel block interleaver.
+ */
+
+#include "mem/interleave.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace thynvm {
+namespace {
+
+TEST(InterleaveTest, SingleChannelIsIdentity)
+{
+    ChannelInterleaver il(1);
+    for (Addr a : {Addr{0}, Addr{63}, Addr{64}, Addr{4096}, Addr{123457}}) {
+        EXPECT_EQ(il.channelOf(a), 0u);
+        EXPECT_EQ(il.localAddr(a), a);
+        EXPECT_EQ(il.globalAddr(0, a), a);
+    }
+}
+
+TEST(InterleaveTest, BlocksRoundRobinAcrossChannels)
+{
+    ChannelInterleaver il(4);
+    for (std::size_t blk = 0; blk < 64; ++blk) {
+        const Addr a = blk * kBlockSize;
+        EXPECT_EQ(il.channelOf(a), blk % 4);
+        // Consecutive blocks of one channel pack densely in its local
+        // space.
+        EXPECT_EQ(il.localAddr(a), (blk / 4) * kBlockSize);
+    }
+}
+
+TEST(InterleaveTest, RoundTripIsExact)
+{
+    for (unsigned channels : {1u, 2u, 4u, 8u}) {
+        ChannelInterleaver il(channels);
+        for (Addr a = 0; a < 64 * kBlockSize; a += 13) {
+            const unsigned ch = il.channelOf(a);
+            const Addr local = il.localAddr(a);
+            EXPECT_EQ(il.globalAddr(ch, local), a)
+                << "channels=" << channels << " addr=" << a;
+        }
+        // And the other direction: every (channel, local) pair maps to
+        // a unique global address owned by that channel.
+        for (unsigned ch = 0; ch < channels; ++ch) {
+            for (Addr local = 0; local < 16 * kBlockSize;
+                 local += kBlockSize) {
+                const Addr global = il.globalAddr(ch, local);
+                EXPECT_EQ(il.channelOf(global), ch);
+                EXPECT_EQ(il.localAddr(global), local);
+            }
+        }
+    }
+}
+
+TEST(InterleaveTest, BytesWithinABlockStayTogether)
+{
+    // A block never straddles a channel boundary: every byte of a
+    // 64-byte block maps to the same channel, at consecutive local
+    // offsets. This is what lets the cache hierarchy issue block
+    // accesses without splitting them.
+    ChannelInterleaver il(8);
+    for (std::size_t blk = 0; blk < 32; ++blk) {
+        const Addr base = blk * kBlockSize;
+        const unsigned ch = il.channelOf(base);
+        const Addr local_base = il.localAddr(base);
+        for (std::size_t off = 0; off < kBlockSize; ++off) {
+            EXPECT_EQ(il.channelOf(base + off), ch);
+            EXPECT_EQ(il.localAddr(base + off), local_base + off);
+        }
+        // The next block changes channel (8-way: never the same
+        // neighbor).
+        EXPECT_NE(il.channelOf(base + kBlockSize), ch);
+    }
+}
+
+TEST(InterleaveTest, LocalSpacesPartitionTheGlobalSpace)
+{
+    // Every global block lands in exactly one channel's local space,
+    // and the local spaces are dense: across N global blocks and C
+    // channels, each channel sees exactly N/C distinct local blocks.
+    ChannelInterleaver il(4);
+    const std::size_t n_blocks = 256;
+    std::vector<std::vector<bool>> seen(
+        4, std::vector<bool>(n_blocks / 4, false));
+    for (std::size_t blk = 0; blk < n_blocks; ++blk) {
+        const Addr a = blk * kBlockSize;
+        const unsigned ch = il.channelOf(a);
+        const std::size_t local_blk = il.localAddr(a) / kBlockSize;
+        ASSERT_LT(local_blk, n_blocks / 4);
+        EXPECT_FALSE(seen[ch][local_blk]) << "collision at block " << blk;
+        seen[ch][local_blk] = true;
+    }
+    for (unsigned ch = 0; ch < 4; ++ch) {
+        for (bool s : seen[ch])
+            EXPECT_TRUE(s);
+    }
+}
+
+TEST(InterleaveTest, LocalCapacityDividesEvenly)
+{
+    ChannelInterleaver il(4);
+    EXPECT_EQ(il.localCapacity(1u << 20), (1u << 20) / 4);
+    // Not divisible into whole per-channel blocks: clear error.
+    EXPECT_THROW(il.localCapacity(4 * kBlockSize + kBlockSize),
+                 FatalError);
+}
+
+TEST(InterleaveTest, NonPowerOfTwoChannelCountsRejected)
+{
+    for (unsigned bad : {0u, 3u, 5u, 6u, 7u, 12u}) {
+        EXPECT_THROW(ChannelInterleaver il(bad), FatalError)
+            << "channels=" << bad;
+    }
+}
+
+TEST(InterleaveTest, ChannelIndexOutOfRangeRejected)
+{
+    ChannelInterleaver il(2);
+    EXPECT_THROW(il.globalAddr(2, 0), PanicError);
+}
+
+} // namespace
+} // namespace thynvm

@@ -10,14 +10,17 @@
  *
  * Usage:
  *   thynvm_fuzz [--seeds N] [--both-fastpath] [--deltas t0,t1,...]
- *               [--threads N] [--inject-drop-btt IDX] [--list-sites]
- *               [--replay REPRO]
+ *               [--threads N] [--channels N] [--inject-drop-btt IDX]
+ *               [--list-sites] [--replay REPRO]
  *
  * The THYNVM_FUZZ_ITERS environment variable scales the seed count for
  * nightly-sized sweeps (same as --seeds). --threads (default: the
  * THYNVM_SIM_THREADS environment variable, else 1) fans the campaign's
  * independent cases across host workers; the campaign result is
- * byte-identical for any thread count.
+ * byte-identical for any thread count. --channels N (default: the
+ * THYNVM_CHANNELS environment variable, else 1) runs every simulated
+ * System on an N-channel interleaved topology, which adds per-channel
+ * (chK.*) and cross-channel barrier (group.*) crash sites to the plan.
  */
 
 #include <cstdio>
@@ -40,19 +43,21 @@ usage(const char* argv0)
     std::fprintf(stderr,
                  "usage: %s [--seeds N] [--both-fastpath] "
                  "[--deltas t0,t1,...]\n"
-                 "          [--threads N] [--inject-drop-btt IDX] "
-                 "[--list-sites] [--replay REPRO]\n",
+                 "          [--threads N] [--channels N] "
+                 "[--inject-drop-btt IDX]\n"
+                 "          [--list-sites] [--replay REPRO]\n",
                  argv0);
     return 2;
 }
 
 int
-listSites(const FuzzerConfig& fc)
+listSites(const FuzzerConfig& fc, unsigned channels)
 {
     for (SystemKind kind : {SystemKind::ThyNvm, SystemKind::Journal,
                             SystemKind::Shadow}) {
         for (const char* wl : {"rand", "slide"}) {
-            const auto sites = enumerateSites(fc, 1, wl, kind, true);
+            const auto sites =
+                enumerateSites(fc, 1, wl, kind, true, channels);
             std::printf("%s / %s: %zu sites\n", systemToken(kind), wl,
                         sites.size());
             for (const auto& [site, hits] : sites) {
@@ -105,6 +110,7 @@ main(int argc, char** argv)
     std::string replay_str;
     std::uint64_t n_seeds = 1;
     unsigned threads = std::max(1u, simThreadsFromEnv());
+    unsigned channels = channelsFromEnv();
 
     if (const char* env = std::getenv("THYNVM_FUZZ_ITERS"))
         n_seeds = std::strtoull(env, nullptr, 10);
@@ -125,6 +131,9 @@ main(int argc, char** argv)
         } else if (arg == "--threads" && i + 1 < argc) {
             threads = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--channels" && i + 1 < argc) {
+            channels = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--inject-drop-btt" && i + 1 < argc) {
             fc.debug_drop_btt_entry = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--list-sites") {
@@ -136,8 +145,12 @@ main(int argc, char** argv)
         }
     }
 
+    if (channels <= 1)
+        channels = 0; // 0 = single-channel seed topology
+    opts.channels = channels;
+
     if (list_sites)
-        return listSites(fc);
+        return listSites(fc, channels);
     if (!replay_str.empty())
         return replay(fc, replay_str);
 
