@@ -194,6 +194,9 @@ struct ChannelCell
     double events_per_sec = 0.0;
     double speedup = 1.0; //!< vs. one worker at the same channel count
     Tick final_tick = 0;
+    /** Kernel windows / cross-shard messages (0 for the serial loop). */
+    std::uint64_t windows = 0;
+    std::uint64_t messages = 0;
 };
 
 /** Events executed across the core queue and every channel queue. */
@@ -233,6 +236,8 @@ measureChannelCell(unsigned channels, unsigned threads)
     r.events_per_sec =
         host > 0.0 ? static_cast<double>(r.events) / host : 0.0;
     r.final_tick = end;
+    r.windows = sys.kernelWindows();
+    r.messages = sys.kernelMessages();
     return r;
 }
 
@@ -317,9 +322,9 @@ main(int argc, char** argv)
 
     heading("Channel sweep: one Random/ThyNVM System, "
             "channels x workers");
-    std::printf("%-10s %-8s %14s %10s %14s %10s %14s\n", "channels",
+    std::printf("%-10s %-8s %14s %10s %14s %10s %12s %10s\n", "channels",
                 "threads", "events", "host_s", "events/s", "speedup",
-                "final_tick");
+                "windows", "messages");
 
     std::vector<ChannelCell> channel_sweep;
     for (unsigned channels : {1u, 2u, 4u}) {
@@ -347,11 +352,13 @@ main(int argc, char** argv)
                 if (ref.host_seconds > 0.0)
                     c.speedup = ref.host_seconds / c.host_seconds;
             }
-            std::printf("%-10u %-8u %14llu %10.2f %14.0f %9.2fx %14llu\n",
+            std::printf("%-10u %-8u %14llu %10.2f %14.0f %9.2fx %12llu "
+                        "%10llu\n",
                         c.channels, c.threads,
                         static_cast<unsigned long long>(c.events),
                         c.host_seconds, c.events_per_sec, c.speedup,
-                        static_cast<unsigned long long>(c.final_tick));
+                        static_cast<unsigned long long>(c.windows),
+                        static_cast<unsigned long long>(c.messages));
             channel_sweep.push_back(c);
         }
     }
@@ -390,11 +397,14 @@ main(int argc, char** argv)
                      "    {\"channels\": %u, \"threads\": %u, "
                      "\"events\": %llu, \"host_seconds\": %.3f, "
                      "\"events_per_sec\": %.0f, \"speedup\": %.3f, "
-                     "\"final_tick\": %llu}%s\n",
+                     "\"final_tick\": %llu, \"windows\": %llu, "
+                     "\"messages\": %llu}%s\n",
                      c.channels, c.threads,
                      static_cast<unsigned long long>(c.events),
                      c.host_seconds, c.events_per_sec, c.speedup,
                      static_cast<unsigned long long>(c.final_tick),
+                     static_cast<unsigned long long>(c.windows),
+                     static_cast<unsigned long long>(c.messages),
                      i + 1 == channel_sweep.size() ? "" : ",");
     }
     std::fprintf(f, "  ],\n");

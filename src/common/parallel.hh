@@ -38,6 +38,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <deque>
 #include <functional>
@@ -194,6 +195,78 @@ class Barrier
     std::size_t parties_;
     std::size_t arrived_ = 0;
     std::uint64_t generation_ = 0;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+};
+
+/**
+ * Sense-reversing rendezvous tuned for the sharded kernel's window
+ * loop, where windows are microseconds apart on the host: parties spin
+ * briefly on the generation word, yield for a while, and only then
+ * fall back to blocking on a condition variable. Compared to Barrier
+ * this avoids a mutex round-trip per arrival on the fast path, which
+ * dominates when the kernel executes millions of tiny windows.
+ *
+ * arriveAndWait() is a full acquire/release fence between generations:
+ * everything written by any party before arriving is visible to every
+ * party after the barrier opens.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(std::uint32_t parties)
+        : parties_(parties),
+          // Spinning only helps when every party can be on a core at
+          // once; oversubscribed, the spinner burns the quantum the
+          // other parties need, so go straight to yield/block.
+          spin_limit_(parties <= std::thread::hardware_concurrency()
+                          ? 4096
+                          : 0)
+    {
+    }
+
+    SpinBarrier(const SpinBarrier&) = delete;
+    SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+    /** Block until all parties have arrived at this generation. */
+    void
+    arriveAndWait()
+    {
+        const std::uint32_t gen =
+            generation_.load(std::memory_order_relaxed);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties_) {
+            // Last arriver: open the next generation. The mutex pairs
+            // with the blocking waiters' re-check so a notify cannot
+            // slip between their generation load and cv wait.
+            arrived_.store(0, std::memory_order_relaxed);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                generation_.store(gen + 1, std::memory_order_release);
+            }
+            cv_.notify_all();
+            return;
+        }
+        for (int spin = 0; spin < spin_limit_; ++spin) {
+            if (generation_.load(std::memory_order_acquire) != gen)
+                return;
+        }
+        for (int pause = 0; pause < 64; ++pause) {
+            if (generation_.load(std::memory_order_acquire) != gen)
+                return;
+            std::this_thread::yield();
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this, gen] {
+            return generation_.load(std::memory_order_acquire) != gen;
+        });
+    }
+
+  private:
+    const std::uint32_t parties_;
+    const int spin_limit_;
+    std::atomic<std::uint32_t> arrived_{0};
+    std::atomic<std::uint32_t> generation_{0};
     std::mutex mutex_;
     std::condition_variable cv_;
 };

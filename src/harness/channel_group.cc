@@ -220,12 +220,11 @@ ChannelGroup::postToChannel(unsigned i, std::function<void()> fn)
 {
     panic_if(kernel_ == nullptr,
              "cross-channel message with no kernel attached");
-    Tick when = curTick() + kChannelLookahead;
-    // Posts from step-loop context (not an event) can trail the window
-    // edge; the conservative rule needs when >= window end.
-    const Tick we = kernel_->windowEnd();
-    if (we != kMaxTick && when < we)
-        when = we;
+    // The delivery tick is a pure function of simulated state: the
+    // kernel's admission check is against the target's window, which
+    // EOT planning keeps at or below any tick this shard can send at,
+    // and posting retreats this shard's own bound (sim/shard.hh).
+    const Tick when = curTick() + kChannelLookahead;
     kernel_->post(core_shard_, chs_[i]->shard, when, std::move(fn));
 }
 
@@ -234,10 +233,7 @@ ChannelGroup::postToCore(unsigned i, std::function<void()> fn)
 {
     panic_if(kernel_ == nullptr,
              "cross-channel message with no kernel attached");
-    Tick when = chs_[i]->eq->now() + kChannelLookahead;
-    const Tick we = kernel_->windowEnd();
-    if (we != kMaxTick && when < we)
-        when = we;
+    const Tick when = chs_[i]->eq->now() + kChannelLookahead;
     kernel_->post(chs_[i]->shard, core_shard_, when, std::move(fn));
 }
 
@@ -490,8 +486,8 @@ ChannelGroup::registerShards(ShardedKernel& kernel, unsigned core_shard,
         Channel* ch = chp.get();
         EventQueue* eq = ch->eq.get();
         ch->shard = kernel.addShard(
-            ch->ctrl->name(), *eq, [eq, limit, cut](Tick wend) {
-                while (!eq->empty() && eq->nextTick() < wend &&
+            ch->ctrl->name(), *eq, [eq, limit, cut](ShardWindow win) {
+                while (!eq->empty() && eq->nextTick() < win.end() &&
                        eq->nextTick() <= cut && eq->now() < limit)
                     eq->step();
                 return !eq->empty() && eq->nextTick() <= cut &&

@@ -67,8 +67,8 @@ class ChannelGroup : public MemController
     /**
      * Cross-channel lookahead: the channel-interconnect hop, modeled as
      * the device minimum access latency (a 40 ns row hit). Every
-     * core<->channel message takes one hop each direction; it is also
-     * the conservative window width the sharded kernel runs at.
+     * core<->channel message takes one hop each direction; it floors
+     * the earliest-output-time windows the sharded kernel runs at.
      */
     static constexpr Tick kChannelLookahead = 40 * kNanosecond;
 
@@ -187,8 +187,9 @@ class ChannelGroup : public MemController
     /** Global config scaled down to one channel's share. */
     ThyNvmConfig channelThyNvmConfig(std::size_t ch_phys) const;
 
-    // Cross-shard message helpers; when >= both queues' window end is
-    // guaranteed because the kernel window is at most the lookahead.
+    // Cross-shard message helpers; the delivery tick (sender's now +
+    // kChannelLookahead) always clears the target's admission window
+    // because EOT planning floors every window by exactly this bound.
     void postToChannel(unsigned i, std::function<void()> fn);
     void postToCore(unsigned i, std::function<void()> fn);
 

@@ -42,6 +42,7 @@ SystemGroup::run(unsigned threads, Tick limit, ThreadPool* pool)
 
     const Tick last = kernel.run(threads, pool);
     windows_ = kernel.windowsExecuted();
+    messages_ = kernel.messagesDelivered();
     for (System* sys : systems_)
         sys->detachKernel();
     return last;

@@ -75,9 +75,13 @@ class SystemGroup
     /** Windows executed by the last run(). */
     std::uint64_t windowsExecuted() const { return windows_; }
 
+    /** Cross-shard messages delivered by the last run(). */
+    std::uint64_t messagesDelivered() const { return messages_; }
+
   private:
     std::vector<System*> systems_;
     std::uint64_t windows_ = 0;
+    std::uint64_t messages_ = 0;
 };
 
 } // namespace thynvm

@@ -205,6 +205,8 @@ System::run(Tick duration)
         SystemGroup group;
         group.add(*this);
         group.run(threads, limit);
+        kernel_windows_ = group.windowsExecuted();
+        kernel_messages_ = group.messagesDelivered();
         return eq_.now();
     }
     while (!cpu_->finished() && eq_.now() < limit && !eq_.empty())
@@ -216,8 +218,8 @@ unsigned
 System::registerShards(ShardedKernel& kernel, Tick limit)
 {
     const unsigned core = kernel.addShard(
-        controller_->name(), eq_, [this, limit](Tick window_end) {
-            const bool more = stepWindow(window_end, limit);
+        controller_->name(), eq_, [this, limit](ShardWindow win) {
+            const bool more = stepWindow(win, limit);
             // A finished workload halts the channels so their epoch
             // timers stop re-arming and the kernel can terminate.
             if (group_ != nullptr && cpu_->finished())
@@ -253,9 +255,9 @@ System::runTo(Tick cut)
     // the cut.
     ShardedKernel kernel;
     const unsigned core = kernel.addShard(
-        controller_->name(), eq_, [this, cut](Tick window_end) {
+        controller_->name(), eq_, [this, cut](ShardWindow win) {
             while (!cpu_->finished() && !eq_.empty() &&
-                   eq_.nextTick() < window_end && eq_.nextTick() <= cut)
+                   eq_.nextTick() < win.end() && eq_.nextTick() <= cut)
                 eq_.step();
             if (cpu_->finished())
                 group_->postHalt();
@@ -270,10 +272,12 @@ System::runTo(Tick cut)
 }
 
 bool
-System::stepWindow(Tick window_end, Tick limit)
+System::stepWindow(ShardWindow win, Tick limit)
 {
+    // win.end() is re-read every iteration: posting retreats the live
+    // bound mid-window (sim/shard.hh).
     while (!cpu_->finished() && eq_.now() < limit && !eq_.empty() &&
-           eq_.nextTick() < window_end)
+           eq_.nextTick() < win.end())
         eq_.step();
     return !cpu_->finished() && eq_.now() < limit && !eq_.empty();
 }

@@ -13,6 +13,7 @@
 #ifndef THYNVM_HARNESS_SYSTEM_HH
 #define THYNVM_HARNESS_SYSTEM_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 
@@ -24,6 +25,7 @@
 #include "cpu/cpu.hh"
 #include "harness/channel_group.hh"
 #include "harness/system_kind.hh"
+#include "sim/shard.hh"
 
 namespace thynvm {
 
@@ -134,12 +136,13 @@ class System
 
     /**
      * Step this system inside one kernel window: execute events with
-     * tick strictly below @p window_end, stopping early when the
-     * workload finishes, the queue drains, or @p limit is passed —
-     * exactly the serial run() loop, bounded by the window.
+     * tick strictly below the live bound @p win (re-read per event —
+     * posting retreats it), stopping early when the workload finishes,
+     * the queue drains, or @p limit is passed — exactly the serial
+     * run() loop, bounded by the window.
      * @return true if the system can still make progress.
      */
-    bool stepWindow(Tick window_end, Tick limit);
+    bool stepWindow(ShardWindow win, Tick limit);
 
     /**
      * Tag every component of this system with a kernel shard id. The
@@ -172,6 +175,12 @@ class System
 
     /** Effective sharded-kernel worker count for standalone runs. */
     unsigned simThreads() const;
+
+    /** Kernel windows executed by the last sharded run() (0 when the
+     *  run used the plain serial loop). */
+    std::uint64_t kernelWindows() const { return kernel_windows_; }
+    /** Cross-shard messages delivered by the last sharded run(). */
+    std::uint64_t kernelMessages() const { return kernel_messages_; }
 
     /** True once the workload finished. */
     bool finished() const { return cpu_->finished(); }
@@ -222,6 +231,8 @@ class System
     std::unique_ptr<Cache> l1_;
     std::unique_ptr<TraceCpu> cpu_;
     Tick start_tick_ = 0;
+    std::uint64_t kernel_windows_ = 0;
+    std::uint64_t kernel_messages_ = 0;
 };
 
 } // namespace thynvm

@@ -245,6 +245,37 @@ class EventQueue
         schedule(now_ + delta, std::forward<F>(fn));
     }
 
+    /**
+     * High bit of a cross-shard delivery order key. Locally scheduled
+     * callbacks draw their tie-break sequence from a counter that can
+     * never reach this bit, so a delivery sorts after every local
+     * callback of the same tick — "traffic arrives at the end of the
+     * tick" — no matter when the kernel's drain physically ran.
+     */
+    static constexpr std::uint64_t kMessageOrderBit = 1ull << 63;
+
+    /**
+     * Schedule a cross-shard message delivery at absolute tick @p when
+     * with an explicit tie-break key in place of the arrival sequence
+     * number. The sharded kernel builds @p order_key from the link id
+     * and the per-link FIFO index (with kMessageOrderBit set), both
+     * pure functions of simulated state — so the execution order of
+     * deliveries is independent of the host-side window schedule that
+     * drained them. That is what lets window policies (fixed lookahead
+     * vs earliest-output-time widening) vary freely while stats stay
+     * byte-identical.
+     */
+    template <typename F>
+    void
+    scheduleMessage(Tick when, std::uint64_t order_key, F&& fn)
+    {
+        panic_if(when < now_, "delivering a message in the past");
+        panic_if((order_key & kMessageOrderBit) == 0,
+                 "message order key without kMessageOrderBit");
+        pushHeap(Item{when, order_key, nullptr, 0,
+                      detail::InlineFn(std::forward<F>(fn))});
+    }
+
     /** Schedule a reusable @p event at absolute tick @p when. */
     void
     schedule(Event& event, Tick when)

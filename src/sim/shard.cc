@@ -1,13 +1,69 @@
 /**
  * @file
  * ShardedKernel implementation.
+ *
+ * Soundness of the EOT windows (DESIGN.md §8 has the full argument):
+ *
+ *  - busy(s) = next-event-tick(s) + min-outbound-lookahead(s) is a
+ *    lower bound on the delivery tick of anything shard s sends by
+ *    *executing queued work*: a send from an event at tick p >= next
+ *    arrives no earlier than p + link-lookahead >= busy(s).
+ *
+ *  - A shard that cannot execute can still *relay*: a message landing
+ *    at tick m can make it send with delivery >= m + lookahead. The
+ *    fixpoint eot(s) = min(busy(s), window(s) + min-out(s)) with
+ *    window(x) = min over in-links of eot(sender) accounts for every
+ *    such chain; iterating downward from +infinity converges to the
+ *    greatest (widest) sound solution because each pass only replaces
+ *    a value with a shorter relay chain's bound, and chains with
+ *    repeated shards are never shorter (lookaheads are positive).
+ *
+ *  - Sole actor: when exactly one shard can execute, no message can
+ *    reach any shard this round except ones the sole actor itself
+ *    sends — and posting retreats its own live bound to the delivery
+ *    tick, so it never executes past the earliest response its send
+ *    can provoke. Its window is therefore unbounded up to the barrier
+ *    edge. This is the case that collapses the window count when only
+ *    one side of a link topology has work (a core hitting its caches
+ *    while the memory channels idle, a channel draining a request).
+ *
+ *  - Retreat keeps multi-post rounds sound in general: after posting
+ *    at tick p with delivery when = p + L, the poster executes only
+ *    events below when, and any response travels two hops (>= 2L), so
+ *    it lands at or after when + L > every tick the poster reached.
+ *
+ * Both the post() admission check (against the *target's* window) and
+ * EventQueue::scheduleMessage's delivery-in-the-past check stay armed
+ * in EOT mode: a bound that was not conservative — e.g. a lying EotFn
+ * override — panics deterministically instead of corrupting order.
  */
 
 #include "sim/shard.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <utility>
 
 namespace thynvm {
+
+namespace {
+
+/** Saturating tick addition (kMaxTick is +infinity). */
+Tick
+satAdd(Tick a, Tick b)
+{
+    return (a == kMaxTick || b == kMaxTick || a > kMaxTick - b) ? kMaxTick
+                                                                : a + b;
+}
+
+} // namespace
+
+ShardedKernel::ShardedKernel()
+    : eot_(std::getenv("THYNVM_NO_EOT") == nullptr)
+{
+}
 
 unsigned
 ShardedKernel::addShard(std::string name, EventQueue& eq, StepFn step)
@@ -17,6 +73,8 @@ ShardedKernel::addShard(std::string name, EventQueue& eq, StepFn step)
     s.eq = &eq;
     s.step = std::move(step);
     shards_.push_back(std::move(s));
+    if (!links_.empty())
+        rebuildLinkIndex();
     return static_cast<unsigned>(shards_.size() - 1);
 }
 
@@ -24,11 +82,24 @@ unsigned
 ShardedKernel::addShard(std::string name, EventQueue& eq)
 {
     EventQueue* q = &eq;
-    return addShard(std::move(name), eq, [q](Tick window_end) {
-        while (!q->empty() && q->nextTick() < window_end)
+    return addShard(std::move(name), eq, [q](ShardWindow win) {
+        while (!q->empty() && q->nextTick() < win.end())
             q->step();
         return !q->empty();
     });
+}
+
+void
+ShardedKernel::rebuildLinkIndex()
+{
+    stride_ = shards_.size();
+    link_index_.assign(stride_ * stride_, -1);
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+        const Link& l = links_[i];
+        std::int32_t& slot = link_index_[l.from * stride_ + l.to];
+        panic_if(slot >= 0, "duplicate link %u->%u declared", l.from, l.to);
+        slot = static_cast<std::int32_t>(i);
+    }
 }
 
 void
@@ -46,55 +117,317 @@ ShardedKernel::link(unsigned from, unsigned to, Tick lookahead,
     l.lookahead = lookahead;
     l.mailbox = std::make_unique<SpscRing<Message>>(capacity);
     links_.push_back(std::move(l));
+    rebuildLinkIndex();
+}
+
+void
+ShardedKernel::setEotFn(unsigned shard, EotFn fn)
+{
+    panic_if(shard >= shards_.size(), "EOT override for unknown shard %u",
+             shard);
+    shards_[shard].eot_fn = std::move(fn);
 }
 
 void
 ShardedKernel::post(unsigned from, unsigned to, Tick when,
                     std::function<void()> fn)
 {
-    for (auto& l : links_) {
-        if (l.from != from || l.to != to)
-            continue;
-        panic_if(when < window_end_,
-                 "conservative violation: message for tick %llu posted "
-                 "inside window ending at %llu",
-                 static_cast<unsigned long long>(when),
-                 static_cast<unsigned long long>(window_end_));
-        Message m;
-        m.when = when;
-        m.fn = std::move(fn);
-        panic_if(!l.mailbox->push(std::move(m)),
-                 "mailbox %u->%u overflow (capacity %zu)", from, to,
-                 l.mailbox->capacity());
-        return;
-    }
-    panic("post over undeclared link %u->%u", from, to);
-}
+    const std::int32_t lid =
+        (from < stride_ && to < stride_)
+            ? link_index_[from * stride_ + to]
+            : -1;
+    panic_if(lid < 0, "post over undeclared link %u->%u", from, to);
+    Link& l = links_[static_cast<std::size_t>(lid)];
 
-Tick
-ShardedKernel::earliestPending() const
-{
-    Tick t = kMaxTick;
-    for (const auto& s : shards_) {
-        if (s.runnable)
-            t = std::min(t, s.eq->nextTick());
+    panic_if(when < shards_[to].window_end,
+             "conservative violation: message for tick %llu posted "
+             "inside window ending at %llu",
+             static_cast<unsigned long long>(when),
+             static_cast<unsigned long long>(shards_[to].window_end));
+
+    Message m;
+    m.when = when;
+    // Deterministic delivery order: band the message above every
+    // same-tick local event and rank it by (link id, per-link FIFO
+    // position) — a pure function of simulated state, independent of
+    // the window schedule and the worker that drains it.
+    panic_if(l.fifo >> 40,
+             "link %u->%u exhausted its 2^40 message order keys", from, to);
+    m.key = EventQueue::kMessageOrderBit |
+            (static_cast<std::uint64_t>(lid) << 40) | l.fifo++;
+    m.fn = std::move(fn);
+    panic_if(!l.mailbox->push(std::move(m)),
+             "mailbox %u->%u overflow (capacity %zu)", from, to,
+             l.mailbox->capacity());
+
+    if (!l.dirty) {
+        l.dirty = true;
+        shards_[from].posted.push_back(static_cast<unsigned>(lid));
     }
-    return t;
+
+    // Retreat the poster's own live bound: it must not execute past
+    // the delivery tick, so any response provoked by this message
+    // (two hops away, >= when + lookahead) stays conservative.
+    Shard& src = shards_[from];
+    if (when < src.dyn_end)
+        src.dyn_end = when;
 }
 
 void
-ShardedKernel::drainMailboxes()
+ShardedKernel::prepare()
 {
+    min_lookahead_ = kMaxTick;
+    for (auto& s : shards_) {
+        s.min_out = kMaxTick;
+        s.in.clear();
+        s.posted.clear();
+        s.active = false;
+        s.window_end = kMaxTick;
+        s.dyn_end = kMaxTick;
+    }
     for (auto& l : links_) {
-        Message m;
-        while (l.mailbox->pop(m)) {
-            Shard& target = shards_[l.to];
-            // std::function captures fit EventQueue's inline callable.
-            target.eq->schedule(m.when,
-                                [fn = std::move(m.fn)] { fn(); });
-            target.runnable = true;
-            ++messages_;
+        l.dirty = false;
+        min_lookahead_ = std::min(min_lookahead_, l.lookahead);
+        shards_[l.from].min_out =
+            std::min(shards_[l.from].min_out, l.lookahead);
+        shards_[l.to].in.push_back(l.from);
+    }
+    heap_.clear();
+    credited_.assign(shards_.size(), kMaxTick);
+    if (!eot_) {
+        for (unsigned i = 0; i < shards_.size(); ++i) {
+            const Shard& s = shards_[i];
+            if (s.runnable && !s.eq->empty()) {
+                credited_[i] = s.eq->nextTick();
+                heap_.push_back({credited_[i], i});
+            }
         }
+        std::make_heap(heap_.begin(), heap_.end(),
+                       [](const HeapEntry& a, const HeapEntry& b) {
+                           return a > b;
+                       });
+    }
+}
+
+Tick
+ShardedKernel::earliestPending()
+{
+    const auto after = [](const HeapEntry& a, const HeapEntry& b) {
+        return a > b;
+    };
+    // Lazy validation: a live entry (tick == credited_[shard]) is a
+    // lower bound on its shard's next-event tick (stepping only raises
+    // it; an earlier delivery supersedes the entry via credited_).
+    // Pop superseded and stale entries, reinserting the live tick,
+    // until the top is exact.
+    while (!heap_.empty()) {
+        const HeapEntry top = heap_.front();
+        if (top.tick == credited_[top.shard]) {
+            const Shard& s = shards_[top.shard];
+            const Tick live = (s.runnable && !s.eq->empty())
+                                  ? s.eq->nextTick()
+                                  : kMaxTick;
+            if (live == top.tick)
+                return live;
+            credited_[top.shard] = live;
+            std::pop_heap(heap_.begin(), heap_.end(), after);
+            heap_.pop_back();
+            if (live != kMaxTick) {
+                heap_.push_back({live, top.shard});
+                std::push_heap(heap_.begin(), heap_.end(), after);
+            }
+        } else {
+            // Superseded duplicate: a lower credited entry for this
+            // shard is (or was) elsewhere in the heap.
+            std::pop_heap(heap_.begin(), heap_.end(), after);
+            heap_.pop_back();
+        }
+    }
+    return kMaxTick;
+}
+
+std::size_t
+ShardedKernel::planWindows()
+{
+    std::size_t n_active = 0;
+
+    if (eot_) {
+        // Round inputs: who can execute, and the earliest tick their
+        // execution could deliver a message at.
+        unsigned busy_count = 0;
+        unsigned busy_shard = 0;
+        for (unsigned i = 0; i < shards_.size(); ++i) {
+            Shard& s = shards_[i];
+            s.next =
+                (s.runnable && !s.eq->empty()) ? s.eq->nextTick() : kMaxTick;
+            if (s.next != kMaxTick) {
+                ++busy_count;
+                busy_shard = i;
+            }
+            s.busy = s.next == kMaxTick ? kMaxTick
+                     : s.eot_fn         ? s.eot_fn()
+                                        : satAdd(s.next, s.min_out);
+            s.eot = s.busy;
+        }
+        if (busy_count == 0)
+            return 0;
+
+        // Greatest fixpoint of
+        //   window(x) = min over in-links of eot(sender)
+        //   eot(s)    = min(busy(s), window(s) + min_out(s))
+        // by monotone descent from +infinity; converges because each
+        // pass can only substitute a shorter relay chain's bound and
+        // positive lookaheads make cyclic chains non-improving.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (auto& x : shards_) {
+                Tick w = kMaxTick;
+                for (unsigned src : x.in)
+                    w = std::min(w, shards_[src].eot);
+                x.window_end = w;
+            }
+            for (auto& s : shards_) {
+                const Tick e =
+                    std::min(s.busy, satAdd(s.window_end, s.min_out));
+                if (e != s.eot) {
+                    s.eot = e;
+                    changed = true;
+                }
+            }
+        }
+
+        // Sole actor: nobody else can execute, so nothing can be sent
+        // to anybody — the one busy shard runs to the barrier edge.
+        if (busy_count == 1)
+            shards_[busy_shard].window_end = kMaxTick;
+
+        for (auto& s : shards_) {
+            if (barrier_period_ != 0 && s.next != kMaxTick) {
+                const Tick edge =
+                    (s.next / barrier_period_ + 1) * barrier_period_;
+                s.window_end = std::min(s.window_end, edge);
+            }
+            s.dyn_end = s.window_end;
+            s.active = s.next < s.window_end;
+            if (s.active)
+                ++n_active;
+        }
+        return n_active;
+    }
+
+    // Fixed-lookahead policy (THYNVM_NO_EOT): one global window
+    // [t, t + min-lookahead) clamped to the barrier edge, exactly the
+    // pre-EOT kernel.
+    const Tick t = earliestPending();
+    if (t == kMaxTick)
+        return 0;
+    Tick wend = satAdd(t, min_lookahead_);
+    if (barrier_period_ != 0) {
+        const Tick edge = (t / barrier_period_ + 1) * barrier_period_;
+        wend = std::min(wend, edge);
+    }
+    for (auto& s : shards_) {
+        s.window_end = wend;
+        s.dyn_end = wend;
+        s.active = s.runnable && !s.eq->empty() && s.eq->nextTick() < wend;
+        if (s.active)
+            ++n_active;
+    }
+    return n_active;
+}
+
+void
+ShardedKernel::drainPosted()
+{
+    for (auto& s : shards_) {
+        if (s.posted.empty())
+            continue;
+        for (unsigned lid : s.posted) {
+            Link& l = links_[lid];
+            l.dirty = false;
+            Shard& target = shards_[l.to];
+            Message m;
+            while (l.mailbox->pop(m)) {
+                target.eq->scheduleMessage(m.when, m.key, std::move(m.fn));
+                target.runnable = true;
+                if (!eot_ && m.when < credited_[l.to]) {
+                    // Only a strictly earlier delivery needs a new
+                    // entry; the existing credited bound stays valid
+                    // otherwise. Keeps the heap O(shards).
+                    credited_[l.to] = m.when;
+                    heap_.push_back({m.when, l.to});
+                    std::push_heap(heap_.begin(), heap_.end(),
+                                   [](const HeapEntry& a,
+                                      const HeapEntry& b) { return a > b; });
+                }
+                ++messages_;
+            }
+        }
+        s.posted.clear();
+    }
+}
+
+void
+ShardedKernel::stepSlice(unsigned party)
+{
+    for (std::size_t i = party; i < shards_.size(); i += parties_) {
+        Shard& s = shards_[i];
+        if (s.active)
+            s.runnable = s.step(ShardWindow(&s.dyn_end));
+    }
+}
+
+bool
+ShardedKernel::round()
+{
+    const std::size_t n_active = planWindows();
+    if (n_active == 0)
+        return false;
+    ++windows_;
+
+    if (parties_ == 1 || n_active == 1) {
+        // Serial elision: with at most one shard to step there is
+        // nothing to fan out; the workers stay parked in the release
+        // barrier and the coordinator steps inline.
+        for (auto& s : shards_) {
+            if (s.active)
+                s.runnable = s.step(ShardWindow(&s.dyn_end));
+        }
+    } else {
+        release_->arriveAndWait();
+        try {
+            stepSlice(0);
+        } catch (...) {
+            errors_[0] = std::current_exception();
+        }
+        join_->arriveAndWait();
+        for (auto& e : errors_) {
+            if (e) {
+                std::exception_ptr ep = e;
+                e = nullptr;
+                std::rethrow_exception(ep);
+            }
+        }
+    }
+
+    drainPosted();
+    return true;
+}
+
+void
+ShardedKernel::workerLoop(unsigned party)
+{
+    for (;;) {
+        release_->arriveAndWait();
+        if (stop_)
+            return;
+        try {
+            stepSlice(party);
+        } catch (...) {
+            errors_[party] = std::current_exception();
+        }
+        join_->arriveAndWait();
     }
 }
 
@@ -103,56 +436,74 @@ ShardedKernel::run(unsigned threads, ThreadPool* pool)
 {
     windows_ = 0;
     messages_ = 0;
+    if (shards_.empty())
+        return 0;
+    prepare();
 
-    // Window size: the smallest declared cross-shard lookahead.
-    Tick lookahead = kMaxTick;
-    for (const auto& l : links_)
-        lookahead = std::min(lookahead, l.lookahead);
+    unsigned parties = std::min<unsigned>(std::max(threads, 1u),
+                                          shardCount());
+    if (pool != nullptr)
+        parties = std::min(parties, pool->size() + 1);
+    parties_ = parties;
 
-    std::unique_ptr<ThreadPool> owned;
-    if (threads > 1 && pool == nullptr) {
-        owned = std::make_unique<ThreadPool>(
-            std::min<unsigned>(threads, shardCount()));
-        pool = owned.get();
+    if (parties <= 1) {
+        while (round()) {
+        }
+    } else {
+        SpinBarrier release(parties);
+        SpinBarrier join(parties);
+        release_ = &release;
+        join_ = &join;
+        stop_ = false;
+        errors_.assign(parties, nullptr);
+
+        std::vector<std::thread> own;
+        CountdownLatch done(parties - 1);
+        for (unsigned p = 1; p < parties; ++p) {
+            auto body = [this, p, &done] {
+                workerLoop(p);
+                done.arrive();
+            };
+            if (pool != nullptr)
+                pool->submit(body);
+            else
+                own.emplace_back(body);
+        }
+
+        std::exception_ptr err;
+        try {
+            while (round()) {
+            }
+        } catch (...) {
+            err = std::current_exception();
+        }
+        stop_ = true;
+        release.arriveAndWait();
+        done.wait();
+        for (auto& t : own)
+            t.join();
+        release_ = nullptr;
+        join_ = nullptr;
+        parties_ = 1;
+        if (!err) {
+            for (auto& e : errors_) {
+                if (e) {
+                    err = e;
+                    break;
+                }
+            }
+        }
+        errors_.clear();
+        if (err)
+            std::rethrow_exception(err);
     }
 
-    for (;;) {
-        const Tick t = earliestPending();
-        if (t == kMaxTick)
-            break;
-
-        // Window end: lookahead-limited, clamped to the next global
-        // barrier-period edge (checkpoint-epoch boundary).
-        Tick wend = lookahead == kMaxTick || t > kMaxTick - lookahead
-                        ? kMaxTick
-                        : t + lookahead;
-        if (barrier_period_ != 0) {
-            const Tick edge = (t / barrier_period_ + 1) * barrier_period_;
-            wend = std::min(wend, edge);
-        }
-        window_end_ = wend;
-
-        // Step every shard with work below the window edge. Each shard
-        // is touched by exactly one worker; the latch inside
-        // parallelForOn is the barrier that makes worker-written shard
-        // state visible to this coordinator thread.
-        if (threads <= 1) {
-            for (auto& s : shards_) {
-                if (s.runnable && s.eq->nextTick() < wend)
-                    s.runnable = s.step(wend);
-            }
-        } else {
-            parallelForOn(*pool, shards_.size(), [this, wend](size_t i) {
-                Shard& s = shards_[i];
-                if (s.runnable && s.eq->nextTick() < wend)
-                    s.runnable = s.step(wend);
-            });
-        }
-        ++windows_;
-
-        // Window edge: deliver cross-shard traffic in fixed link order.
-        window_end_ = kMaxTick;
-        drainMailboxes();
+    // Close every admission window again so a post() outside run()
+    // panics (when < kMaxTick), as before.
+    for (auto& s : shards_) {
+        s.window_end = kMaxTick;
+        s.dyn_end = kMaxTick;
+        s.active = false;
     }
 
     Tick latest = 0;

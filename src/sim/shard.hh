@@ -8,28 +8,51 @@
  * Simulation statistics are therefore byte-identical for any worker
  * thread count, including one.
  *
- * The scheme is classic conservative parallel discrete-event
- * simulation:
+ * The scheme is conservative parallel discrete-event simulation:
  *
- *  - Time is cut into windows [T, T+W). W is the minimum *lookahead*
- *    over all declared cross-shard links — the smallest simulated
- *    latency any message from one shard to another can have (for the
- *    memory system, the minimum cross-shard device latency). Within a
- *    window, each shard's queue is stepped by exactly one worker with
- *    no synchronization at all: no event another shard could send can
- *    land inside the window currently being stepped.
+ *  - Each shard is granted a private window [now, W): it may execute
+ *    events with tick strictly below W with no synchronization at all,
+ *    because the kernel proves no other shard can send it a message
+ *    landing below W. Cross-shard traffic is posted into bounded SPSC
+ *    mailboxes, one per declared (from, to) link, each link carrying a
+ *    conservative *lookahead* — the smallest simulated latency any
+ *    message over it can have. At the window edge the workers
+ *    rendezvous on a barrier and the coordinator drains the posted
+ *    mailboxes into the target queues.
  *
- *  - Cross-shard traffic is posted into bounded SPSC mailboxes, one
- *    per (from, to) link. At the window edge every worker rendezvous
- *    on a barrier; the coordinator then drains all mailboxes in fixed
- *    (from, to) order into the target queues before opening the next
- *    window. Delivery order — and therefore every downstream stat —
- *    is a pure function of simulated time, never of host scheduling.
+ *  - Window bounds come from *earliest output times* (EOT): a shard
+ *    that could execute reports next-event-tick + its minimum outbound
+ *    lookahead as the earliest tick at which anything it sends can
+ *    land; a shard that cannot execute reports +infinity, but may
+ *    still *relay* — a message it receives can trigger a send — so its
+ *    EOT is floored by what it can receive plus its outbound
+ *    lookahead. The kernel solves this as a fixpoint over the link
+ *    graph and sets every shard's window to the minimum EOT over its
+ *    in-links. When exactly one shard can execute at all, nobody can
+ *    send to anyone: the sole actor's window is unbounded (up to the
+ *    barrier edge) — this is what collapses the window count by orders
+ *    of magnitude when channels are not actively exchanging traffic.
+ *
+ *  - Mid-window sends are handled by *retreat*: post() pulls the
+ *    posting shard's own live window bound down to the message's
+ *    delivery tick, so the poster never executes past the earliest
+ *    response its send can provoke. Step functions therefore read the
+ *    bound through a ShardWindow view once per event rather than
+ *    capturing it. Delivery order into a queue is a pure function of
+ *    simulated state: every message carries an order key derived from
+ *    its link and per-link FIFO position (EventQueue::scheduleMessage),
+ *    never from the host schedule or the window pattern.
  *
  *  - Window edges are additionally clamped to a *barrier period* so
- *    that globally coordinated phases (the checkpoint-epoch
- *    boundaries of the ThyNVM protocol) are global barriers: no shard
- *    enters epoch k+1 until every shard has finished epoch k.
+ *    that globally coordinated phases (the checkpoint-epoch boundaries
+ *    of the ThyNVM protocol) are global barriers: no shard enters
+ *    epoch k+1 until every shard has finished epoch k.
+ *
+ * Setting THYNVM_NO_EOT in the environment (or setEotWidening(false))
+ * falls back to fixed-lookahead windows — every shard gets the same
+ * [t, t + min-lookahead) window, like the pre-EOT kernel — with the
+ * same executed event sequence; the equivalence suites compare both
+ * modes byte for byte.
  *
  * Shards with no links between them (today: independent Systems
  * co-scheduled by harness/shard_group.hh) have infinite lookahead and
@@ -40,6 +63,7 @@
 #define THYNVM_SIM_SHARD_HH
 
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <string>
@@ -51,6 +75,24 @@
 namespace thynvm {
 
 /**
+ * Live view of one shard's window bound. The bound can *retreat* while
+ * the shard is being stepped (its own post() pulls it down to the
+ * delivery tick of the message just sent), so step functions must read
+ * end() afresh for every event rather than caching it.
+ */
+class ShardWindow
+{
+  public:
+    /** Current end of the window: execute only events strictly below. */
+    Tick end() const { return *end_; }
+
+  private:
+    friend class ShardedKernel;
+    explicit ShardWindow(const Tick* end) : end_(end) {}
+    const Tick* end_;
+};
+
+/**
  * Conservative windowed scheduler over a set of event-queue shards.
  */
 class ShardedKernel
@@ -58,13 +100,26 @@ class ShardedKernel
   public:
     /**
      * Steps one shard inside a window: run shard-local work with tick
-     * strictly below @p window_end. Returns true if the shard may
-     * still make progress (its queue is non-empty and its run
+     * strictly below the (live) window end. Returns true if the shard
+     * may still make progress (its queue is non-empty and its run
      * condition still holds).
      */
-    using StepFn = std::function<bool(Tick window_end)>;
+    using StepFn = std::function<bool(ShardWindow)>;
 
-    ShardedKernel() = default;
+    /**
+     * Optional per-shard earliest-output-time override: a conservative
+     * lower bound on the tick of the next message this shard will
+     * post, given its current queue (kMaxTick when it cannot send).
+     * The default — next event tick + the shard's minimum outbound
+     * lookahead — is already conservative for every shard whose sends
+     * originate from executing an event over a declared link; an
+     * override can only *widen* windows further, and a bound that is
+     * not actually conservative trips the post()/delivery panics
+     * deterministically.
+     */
+    using EotFn = std::function<Tick()>;
+
+    ShardedKernel();
     ShardedKernel(const ShardedKernel&) = delete;
     ShardedKernel& operator=(const ShardedKernel&) = delete;
 
@@ -84,8 +139,8 @@ class ShardedKernel
     /**
      * Declare a cross-shard link with conservative lookahead: every
      * message posted from @p from to @p to must be delivered at least
-     * @p lookahead ticks after the tick it was posted at. The global
-     * window size is the minimum lookahead over all links.
+     * @p lookahead ticks after the tick it was posted at. Declaring
+     * the same (from, to) pair twice panics here, at declaration time.
      *
      * @param capacity mailbox bound (messages posted but not yet
      *        drained). Must cover the worst same-window burst: a
@@ -107,15 +162,22 @@ class ShardedKernel
      * Post cross-shard work: run @p fn on shard @p to at tick @p when.
      * Must be called from the worker currently stepping shard @p from
      * (typically from inside one of its events), over a declared link,
-     * with @p when no earlier than the end of the current window — the
-     * conservative rule; violating it panics, because the target shard
-     * may already have stepped past @p when.
+     * with @p when no earlier than the end of the target's current
+     * window — the conservative rule; violating it panics, because the
+     * target shard may already have stepped past @p when. Posting also
+     * retreats the *posting* shard's own window bound to @p when, so
+     * any response provoked by this message is conservative in turn.
      */
     void post(unsigned from, unsigned to, Tick when,
               std::function<void()> fn);
 
-    /** End of the window currently being stepped (kMaxTick outside run). */
-    Tick windowEnd() const { return window_end_; }
+    /** Enable/disable EOT window widening (default: on unless the
+     *  THYNVM_NO_EOT environment variable is set). */
+    void setEotWidening(bool on) { eot_ = on; }
+    bool eotWidening() const { return eot_; }
+
+    /** Install an EOT override for shard @p shard (tests; see EotFn). */
+    void setEotFn(unsigned shard, EotFn fn);
 
     /**
      * Run all shards to completion: windows advance until every shard
@@ -123,9 +185,13 @@ class ShardedKernel
      *
      * @param threads worker count. 1 steps shards inline on the
      *        calling thread in shard-id order — the serial reference
-     *        schedule. More workers step shards concurrently via
-     *        @p pool (one is created internally if null). The executed
-     *        event sequence per shard is identical either way.
+     *        schedule. More workers step shards concurrently on
+     *        persistent per-run worker threads (or @p pool jobs)
+     *        rendezvousing on spin-then-yield barriers; rounds in
+     *        which at most one shard has work are elided onto the
+     *        calling thread without touching the barriers. The
+     *        executed event sequence per shard is identical either
+     *        way.
      * @param pool optional shared ThreadPool (benchmark fan-out and
      *        shard stepping can use one pool); its size caps effective
      *        concurrency.
@@ -149,6 +215,8 @@ class ShardedKernel
     struct Message
     {
         Tick when = 0;
+        /** Deterministic delivery-order key (kMessageOrderBit band). */
+        std::uint64_t key = 0;
         std::function<void()> fn;
     };
 
@@ -159,6 +227,12 @@ class ShardedKernel
         unsigned to = 0;
         Tick lookahead = 0;
         std::unique_ptr<SpscRing<Message>> mailbox;
+        /** Per-link FIFO counter feeding message order keys. Written
+         *  by the producer (the worker stepping `from`). */
+        std::uint64_t fifo = 0;
+        /** Set by the producer on first post of a round; cleared by
+         *  the coordinator at drain. */
+        bool dirty = false;
     };
 
     struct Shard
@@ -166,20 +240,94 @@ class ShardedKernel
         std::string name;
         EventQueue* eq = nullptr;
         StepFn step;
+        EotFn eot_fn;
         bool runnable = true;
+        /** This shard steps in the current round. */
+        bool active = false;
+        /** Admission bound for messages targeting this shard: posts
+         *  with when < window_end panic. Written by the coordinator
+         *  between rounds. */
+        Tick window_end = kMaxTick;
+        /** Live stepping bound; starts each round at window_end and
+         *  retreats when this shard posts. Only the worker stepping
+         *  the shard touches it mid-round. */
+        Tick dyn_end = kMaxTick;
+        /** Round-locals of the EOT fixpoint (coordinator only). */
+        Tick next = kMaxTick;
+        Tick busy = kMaxTick;
+        Tick eot = kMaxTick;
+        /** Minimum lookahead over this shard's out-links. */
+        Tick min_out = kMaxTick;
+        /** Source shard ids of this shard's in-links. */
+        std::vector<unsigned> in;
+        /** Link ids this shard posted into this round (producer side;
+         *  drained and cleared by the coordinator). */
+        std::vector<unsigned> posted;
     };
 
-    /** Earliest pending work across shards and mailboxes. */
-    Tick earliestPending() const;
-    /** Drain every mailbox into its target queue, in link order. */
-    void drainMailboxes();
+    /**
+     * (next-event-tick, shard) entries for the EOT-off window base.
+     * An entry is live only while its tick equals credited_[shard];
+     * superseded duplicates are dropped when they surface, which keeps
+     * the heap O(shards) instead of growing by one entry per message.
+     */
+    struct HeapEntry
+    {
+        Tick tick = 0;
+        unsigned shard = 0;
+        bool operator>(const HeapEntry& o) const
+        {
+            return tick > o.tick || (tick == o.tick && shard > o.shard);
+        }
+    };
+
+    /** Rebuild the dense (from, to) -> link-id index. */
+    void rebuildLinkIndex();
+    /** Per-run derived state: min_out, in-lists, heap seed. */
+    void prepare();
+    /** Earliest next-event tick over runnable shards (EOT-off; lazy
+     *  min-heap kept current by deliveries). */
+    Tick earliestPending();
+    /**
+     * Compute every shard's window for the next round (EOT fixpoint +
+     * sole-actor override + barrier clamp, or the fixed-lookahead
+     * policy when widening is off) and mark active shards.
+     * @return the number of active shards (0: the run is over).
+     */
+    std::size_t planWindows();
+    /** Deliver posted mailboxes into their target queues. */
+    void drainPosted();
+    /** Step the active shards owned by @p party (shard id mod P). */
+    void stepSlice(unsigned party);
+    /** One round: plan, step (elided / parallel), drain. */
+    bool round();
+    /** Persistent worker body for parties 1..P-1. */
+    void workerLoop(unsigned party);
 
     std::vector<Shard> shards_;
     std::vector<Link> links_;
+    /** Dense (from, to) -> link id (-1: undeclared); stride_ is the
+     *  shard count the index was built for. */
+    std::vector<std::int32_t> link_index_;
+    std::size_t stride_ = 0;
     Tick barrier_period_ = 0;
-    Tick window_end_ = kMaxTick;
+    /** Minimum lookahead over all links (EOT-off window width). */
+    Tick min_lookahead_ = kMaxTick;
+    bool eot_ = true;
+    std::vector<HeapEntry> heap_;
+    /** Per-shard tick credited in heap_ (kMaxTick: no live entry).
+     *  Always a lower bound on the shard's live next-event tick. */
+    std::vector<Tick> credited_;
     std::uint64_t windows_ = 0;
     std::uint64_t messages_ = 0;
+
+    /** Parallel-round state (valid inside run with parties_ > 1). */
+    unsigned parties_ = 1;
+    SpinBarrier* release_ = nullptr;
+    SpinBarrier* join_ = nullptr;
+    bool stop_ = false;
+    /** First exception per party, rethrown on the coordinator. */
+    std::vector<std::exception_ptr> errors_;
 };
 
 } // namespace thynvm

@@ -231,6 +231,67 @@ TEST(ChannelEquivalence, MultiChannelDeterministicAcrossThreadCounts)
     }
 }
 
+/** Scoped environment override (nullptr clears); the previous value
+ *  is restored on destruction. */
+struct EnvGuard
+{
+    EnvGuard(const char* name, const char* value) : name_(name)
+    {
+        if (const char* old = std::getenv(name)) {
+            had_old_ = true;
+            old_ = old;
+        }
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~EnvGuard()
+    {
+        if (had_old_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+    const char* name_;
+    std::string old_;
+    bool had_old_ = false;
+};
+
+/**
+ * Earliest-output-time window widening is host-side scheduling only:
+ * for every channel count and worker count, a run with widening on is
+ * byte-identical (dumpStats and final tick) to the same run under the
+ * THYNVM_NO_EOT fixed-lookahead fallback.
+ */
+TEST(ChannelEquivalence, EotModesByteIdenticalAcrossChannelsAndThreads)
+{
+    for (unsigned channels : {1u, 2u, 4u}) {
+        SystemConfig cfg = smallConfig(SystemKind::ThyNvm);
+        cfg.channels = channels;
+        cfg.epoch_length = 100 * kMicrosecond;
+        RunResult widened;
+        {
+            EnvGuard on("THYNVM_NO_EOT", nullptr); // widening on
+            cfg.sim_threads = 1;
+            widened = runOne(Family::MicroRandom, cfg);
+        }
+        ASSERT_TRUE(widened.finished) << "channels=" << channels;
+        EnvGuard off("THYNVM_NO_EOT", "1");
+        for (unsigned threads : {1u, 2u, 4u}) {
+            cfg.sim_threads = threads;
+            const RunResult narrow = runOne(Family::MicroRandom, cfg);
+            EXPECT_TRUE(narrow.finished)
+                << "channels=" << channels << " threads=" << threads;
+            EXPECT_EQ(narrow.final_tick, widened.final_tick)
+                << "channels=" << channels << " threads=" << threads;
+            EXPECT_EQ(narrow.stats, widened.stats)
+                << "channels=" << channels << " threads=" << threads
+                << ": THYNVM_NO_EOT=1 diverged from the widened run";
+        }
+    }
+}
+
 /**
  * Channel scaling sanity on the checkpointing kinds: the workload
  * still completes, epochs commit through the cross-channel

@@ -13,6 +13,7 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <string>
 
 #include "fuzz/fuzzer.hh"
 
@@ -196,15 +197,29 @@ TEST(CrashRepro, CampaignIsThreadCountInvariant)
     }
 }
 
-/** Scoped THYNVM_SIM_THREADS override, restored on destruction. */
+/** Scoped environment override; the previous value is restored on
+ *  destruction (so CI legs that set the variable for the whole binary
+ *  keep it afterwards). */
 struct EnvGuard
 {
     EnvGuard(const char* name, const char* value) : name_(name)
     {
+        if (const char* old = std::getenv(name)) {
+            had_old_ = true;
+            old_ = old;
+        }
         ::setenv(name, value, 1);
     }
-    ~EnvGuard() { ::unsetenv(name_); }
+    ~EnvGuard()
+    {
+        if (had_old_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
     const char* name_;
+    std::string old_;
+    bool had_old_ = false;
 };
 
 /**
@@ -226,6 +241,39 @@ TEST(CrashRepro, CampaignInvariantUnderSimThreadsEnv)
     EnvGuard env("THYNVM_SIM_THREADS", "4");
     const CampaignResult sharded = runCampaign(fc, opts, nullptr, 2);
     expectSameCampaign(base, sharded, "THYNVM_SIM_THREADS=4");
+}
+
+/**
+ * The 2-channel campaign (per-channel chK.* sites plus cross-channel
+ * group.* barrier sites) re-run with every simulated System sharded
+ * across THYNVM_SIM_THREADS=4 workers: the earliest-output-time window
+ * schedule must not move a single crash tick or change any recovery
+ * image, with widening on and with the THYNVM_NO_EOT fallback.
+ */
+TEST(CrashRepro, MultiChannelCampaignInvariantUnderSimThreadsEnv)
+{
+    FuzzerConfig fc;
+    CampaignOptions opts;
+    opts.channels = 2;
+
+    const CampaignResult base = runCampaign(fc, opts, nullptr, 1);
+    EXPECT_FALSE(base.repros.empty());
+    EXPECT_TRUE(base.violations.empty());
+
+    {
+        EnvGuard env("THYNVM_SIM_THREADS", "4");
+        const CampaignResult sharded = runCampaign(fc, opts, nullptr, 2);
+        expectSameCampaign(base, sharded,
+                           "channels=2 THYNVM_SIM_THREADS=4");
+    }
+    {
+        EnvGuard threads("THYNVM_SIM_THREADS", "4");
+        EnvGuard no_eot("THYNVM_NO_EOT", "1");
+        const CampaignResult narrow = runCampaign(fc, opts, nullptr, 2);
+        expectSameCampaign(base, narrow,
+                           "channels=2 THYNVM_SIM_THREADS=4 "
+                           "THYNVM_NO_EOT=1");
+    }
 }
 
 } // namespace

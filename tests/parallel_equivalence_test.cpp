@@ -184,15 +184,31 @@ TEST(ParallelEquivalence, StorageAndSpecByteIdenticalAtAnyThreadCount)
     }
 }
 
-/** Scoped THYNVM_SIM_THREADS override, restored on destruction. */
+/** Scoped environment override (nullptr clears); the previous value
+ *  is restored on destruction. */
 struct EnvGuard
 {
     EnvGuard(const char* name, const char* value) : name_(name)
     {
-        ::setenv(name, value, 1);
+        if (const char* old = std::getenv(name)) {
+            had_old_ = true;
+            old_ = old;
+        }
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
     }
-    ~EnvGuard() { ::unsetenv(name_); }
+    ~EnvGuard()
+    {
+        if (had_old_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
     const char* name_;
+    std::string old_;
+    bool had_old_ = false;
 };
 
 TEST(ParallelEquivalence, EnvVarEscapeHatchMatchesSerial)
@@ -213,6 +229,29 @@ TEST(ParallelEquivalence, EnvVarEscapeHatchMatchesSerial)
         expectSameRun(serial,
                       runOne(Family::MicroRandom, SystemKind::ThyNvm, 1),
                       "sim_threads=1 overrides env");
+    }
+}
+
+/**
+ * EOT window widening vs the fixed-lookahead fallback (THYNVM_NO_EOT)
+ * must execute the identical schedule: the window pattern is host-side
+ * scheduling only, never simulated behavior.
+ */
+TEST(ParallelEquivalence, EotModesByteIdenticalAtAnyThreadCount)
+{
+    RunResult widened;
+    {
+        EnvGuard on("THYNVM_NO_EOT", nullptr); // widening on
+        widened = runOne(Family::MicroRandom, SystemKind::ThyNvm, 2);
+    }
+    ASSERT_TRUE(widened.finished);
+    EnvGuard off("THYNVM_NO_EOT", "1");
+    for (unsigned threads : {1u, 2u, 4u}) {
+        expectSameRun(widened,
+                      runOne(Family::MicroRandom, SystemKind::ThyNvm,
+                             threads),
+                      "THYNVM_NO_EOT=1 threads=" +
+                          std::to_string(threads));
     }
 }
 

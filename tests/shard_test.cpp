@@ -42,11 +42,14 @@ struct Obs
  */
 std::vector<std::vector<Obs>>
 runTokenRing(unsigned shards, unsigned threads, Tick hop_latency,
-             std::uint64_t hops)
+             std::uint64_t hops, int eot_mode = -1,
+             std::uint64_t* windows_out = nullptr)
 {
     std::vector<EventQueue> queues(shards);
     std::vector<std::vector<Obs>> logs(shards);
     ShardedKernel kernel;
+    if (eot_mode >= 0)
+        kernel.setEotWidening(eot_mode != 0);
     for (unsigned i = 0; i < shards; ++i)
         kernel.addShard("ring" + std::to_string(i), queues[i]);
     for (unsigned i = 0; i < shards; ++i)
@@ -66,6 +69,8 @@ runTokenRing(unsigned shards, unsigned threads, Tick hop_latency,
 
     queues[0].schedule(100, [&hop] { hop(0, 0); });
     kernel.run(threads);
+    if (windows_out != nullptr)
+        *windows_out = kernel.windowsExecuted();
     return logs;
 }
 
@@ -101,7 +106,8 @@ TEST(ShardKernel, TokenRingIsThreadCountInvariant)
  * thread counts changes it.
  */
 std::vector<std::uint64_t>
-runJitterChains(unsigned shards, unsigned threads, std::uint64_t steps)
+runJitterChains(unsigned shards, unsigned threads, std::uint64_t steps,
+                int eot_mode = -1)
 {
     std::vector<EventQueue> queues(shards);
     std::vector<std::uint64_t> sums(shards, 0);
@@ -110,6 +116,8 @@ runJitterChains(unsigned shards, unsigned threads, std::uint64_t steps)
         rngs.emplace_back(0x5eed + i);
 
     ShardedKernel kernel;
+    if (eot_mode >= 0)
+        kernel.setEotWidening(eot_mode != 0);
     for (unsigned i = 0; i < shards; ++i)
         kernel.addShard("chain" + std::to_string(i), queues[i]);
     for (unsigned i = 0; i < shards; ++i) {
@@ -249,6 +257,142 @@ TEST(ShardKernel, CountsWindowsAndMessages)
     EXPECT_EQ(delivered, 1);
     EXPECT_EQ(kernel.messagesDelivered(), 1u);
     EXPECT_GE(kernel.windowsExecuted(), 2u);
+}
+
+/**
+ * One shard with dense local work and an idle peer: with EOT widening
+ * the idle shard's outbound path reports +infinity and the busy shard
+ * is the sole actor, so the whole run collapses into one window; the
+ * fixed-lookahead policy pays one window per lookahead quantum.
+ * Returns windows executed; @p ticks_out collects the event ticks so
+ * both modes can be compared for identical behavior.
+ */
+std::uint64_t
+runBusyIdlePair(bool eot, Tick barrier_period,
+                std::vector<Tick>* ticks_out = nullptr)
+{
+    EventQueue a, b;
+    ShardedKernel kernel;
+    kernel.setEotWidening(eot);
+    kernel.addShard("busy", a);
+    kernel.addShard("idle", b);
+    kernel.link(0, 1, 40);
+    kernel.link(1, 0, 40);
+    kernel.setBarrierPeriod(barrier_period);
+
+    // 1000 events, 40-tick spacing: 999 lookahead quanta of span.
+    std::function<void(std::uint64_t)> chain = [&](std::uint64_t n) {
+        if (ticks_out != nullptr)
+            ticks_out->push_back(a.now());
+        if (n + 1 < 1000)
+            a.scheduleIn(40, [&chain, n] { chain(n + 1); });
+    };
+    a.schedule(0, [&chain] { chain(0); });
+    kernel.run(1);
+    return kernel.windowsExecuted();
+}
+
+TEST(ShardKernel, EotIdleLinkWidensToOneWindow)
+{
+    std::vector<Tick> on_ticks, off_ticks;
+    const std::uint64_t on = runBusyIdlePair(true, 0, &on_ticks);
+    const std::uint64_t off = runBusyIdlePair(false, 0, &off_ticks);
+    // Sole actor, idle outbound path: the entire 40k-tick span is one
+    // window. The fixed policy pays ~one window per 40-tick quantum.
+    EXPECT_EQ(on, 1u);
+    EXPECT_GE(off, 999u);
+    // Identical executed schedule in both modes.
+    EXPECT_EQ(on_ticks, off_ticks);
+}
+
+TEST(ShardKernel, EotWindowsClampToBarrierEdges)
+{
+    // Events at 0, 40, ..., 39960 with a 400-tick barrier period:
+    // widening stops at every epoch edge, so exactly 100 windows of
+    // 10 events each.
+    EXPECT_EQ(runBusyIdlePair(true, 400), 100u);
+}
+
+TEST(ShardKernel, EotWideningNeverAdmitsInsideClosedWindow)
+{
+    // A lying EOT override ("I never send") widens the target's window
+    // past the poster's actual send; the admission check must refuse
+    // the message instead of letting it race the target.
+    EventQueue a, b;
+    ShardedKernel kernel;
+    kernel.setEotWidening(true);
+    kernel.addShard("a", a);
+    kernel.addShard("b", b);
+    kernel.link(0, 1, 50);
+    b.schedule(500, [] {}); // b busy too: no sole-actor bypass
+    kernel.setEotFn(0, [] { return kMaxTick; });
+    bool threw = false;
+    a.schedule(10, [&] {
+        try {
+            kernel.post(0, 1, a.now() + 50, [] {});
+        } catch (const PanicError&) {
+            threw = true;
+        }
+    });
+    kernel.run(1);
+    EXPECT_TRUE(threw);
+}
+
+TEST(ShardKernel, EotHonestBoundAdmitsExactlyAtWindowEnd)
+{
+    // The honest default EOT (next event + outbound lookahead) floors
+    // the target's window at exactly the earliest possible send: a
+    // post at that bound is accepted and delivered on time.
+    EventQueue a, b;
+    ShardedKernel kernel;
+    kernel.setEotWidening(true);
+    kernel.addShard("a", a);
+    kernel.addShard("b", b);
+    kernel.link(0, 1, 50);
+    b.schedule(500, [] {});
+    Tick delivered_at = 0;
+    a.schedule(10, [&] {
+        kernel.post(0, 1, a.now() + 50, [&] { delivered_at = b.now(); });
+    });
+    kernel.run(1);
+    EXPECT_EQ(delivered_at, 60u);
+}
+
+TEST(ShardKernel, EotTokenRingWindowCountRegression)
+{
+    // One hop per window is the conservative floor for a token ring
+    // (every hop is a cross-shard message); EOT widening must stay at
+    // that floor instead of regressing to multiple windows per hop,
+    // and must execute the identical schedule as the fixed policy.
+    std::uint64_t on_windows = 0, off_windows = 0;
+    const Tick lat = 40 * kNanosecond;
+    const auto on = runTokenRing(4, 1, lat, 16, 1, &on_windows);
+    const auto off = runTokenRing(4, 1, lat, 16, 0, &off_windows);
+    EXPECT_EQ(on, off);
+    EXPECT_LE(on_windows, 18u);
+    EXPECT_LE(on_windows, off_windows);
+}
+
+TEST(ShardKernel, JitterChainsMatchAcrossEotModes)
+{
+    const auto widened = runJitterChains(6, 1, 400, 1);
+    const auto fixed = runJitterChains(6, 1, 400, 0);
+    EXPECT_EQ(widened, fixed);
+    for (unsigned threads : {2u, 4u}) {
+        EXPECT_EQ(runJitterChains(6, threads, 400, 1), widened)
+            << "threads=" << threads;
+    }
+}
+
+TEST(ShardKernel, DuplicateLinkDeclarationPanics)
+{
+    EventQueue a, b;
+    ShardedKernel kernel;
+    kernel.addShard("a", a);
+    kernel.addShard("b", b);
+    kernel.link(0, 1, 50);
+    kernel.link(1, 0, 50);
+    EXPECT_THROW(kernel.link(0, 1, 40), PanicError);
 }
 
 TEST(SpscRing, PushPopWrapAround)
