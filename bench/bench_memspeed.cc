@@ -4,23 +4,34 @@
  * second does the full system (CPU + 3-level hierarchy + controller)
  * sustain?
  *
- * Two cells, both on the paper's ThyNVM configuration:
+ * Three cells, all on the paper's ThyNVM configuration:
  *  - resident: Random 1 KB ops over a 16 KB array. After warmup every
  *    64-byte piece hits L1, so the cell isolates the per-piece cost of
  *    the demand datapath itself (the synchronous fast path's target).
  *  - thrash: the fig7 Random cell (64 B ops over 24 MB, far beyond L3),
  *    miss-dominated; guards against the fast path taxing the slow path.
+ *  - gb_kv: a 4 GiB / 1M-key transactional KV cell that is only
+ *    feasible because the backing store is sparse (COW pages allocated
+ *    on first write). Its acceptance metric is peak host RSS: the run
+ *    must stay well below the dense extrapolation (host image + NVM
+ *    home region = 2x phys), which a flat-array store cannot do.
  *
  * The pre-change numbers (event-per-piece datapath, measured on the
  * commit that introduced this benchmark) are embedded as the baseline so
  * the speedup is tracked release to release. Results are written to
- * BENCH_memspeed.json. Setting THYNVM_NO_FAST_PATH=1 forces the event
- * path and should reproduce roughly baseline throughput on this host
- * class. Single-threaded by design; THYNVM_BENCH_THREADS is ignored.
+ * BENCH_memspeed.json, now including per-cell peak host RSS (cells run
+ * smallest-footprint first, so the monotone ru_maxrss reading after
+ * each cell is that cell's effective peak). Setting
+ * THYNVM_NO_FAST_PATH=1 forces the event path and should reproduce
+ * roughly baseline throughput on this host class. `--gb-smoke` runs
+ * only the GB cell at a bounded scale (fewer keys/transactions) for
+ * sanitizer CI. Single-threaded by design; THYNVM_BENCH_THREADS is
+ * ignored.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,6 +69,10 @@ struct MemResult
     double accesses_per_sec = 0.0;
     double baseline_aps = 0.0;
     double speedup = 0.0;
+    std::uint64_t peak_rss_bytes = 0;
+    // GB cell only: what a dense (flat-array) store would allocate.
+    std::uint64_t dense_extrapolation_bytes = 0;
+    std::uint64_t initial_keys = 0;
 };
 
 MemResult
@@ -97,32 +112,103 @@ measure(const Cell& cell)
     r.speedup = cell.baseline_aps > 0.0
                     ? r.accesses_per_sec / cell.baseline_aps
                     : 0.0;
+    r.peak_rss_bytes = peakRssBytes();
+    return r;
+}
+
+/**
+ * The GB-scale cell: 4 GiB simulated phys, a million-key hash-table KV
+ * store with Zipf-skewed transactions. A dense backing store would
+ * allocate >= 2x phys on the host (the workload's initial image plus
+ * the NVM home region) before the first transaction runs; the sparse
+ * store pays only for touched pages, so peak RSS tracks live data.
+ */
+MemResult
+measureGbKv(bool smoke)
+{
+    using Clock = std::chrono::steady_clock;
+
+    SystemConfig cfg = paperSystem(SystemKind::ThyNvm);
+    cfg.phys_size = 4ull << 30;
+
+    KvWorkload::Params p;
+    p.structure = KvWorkload::Structure::HashTable;
+    p.phys_size = cfg.phys_size;
+    p.value_size = 256;
+    p.initial_keys = smoke ? 100000 : 1000000;
+    p.key_space = 2 * p.initial_keys;
+    p.hash_buckets = 32768; // largest SimHeap size class (256 KB array)
+    p.zipf_theta = 0.99; // YCSB-style skewed serving mix
+    p.compute_per_txn = 200;
+    p.total_txns = smoke ? 50 : 400;
+    p.seed = 7;
+    KvWorkload wl(p);
+    System sys(cfg, wl);
+
+    const auto t0 = Clock::now();
+    sys.start();
+    sys.run(120 * kSecond);
+    const double host =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    fatal_if(!sys.finished(), "gb_kv run did not complete");
+
+    MemResult r;
+    r.label = smoke ? "gb_kv_smoke/ThyNVM" : "gb_kv/ThyNVM";
+    r.accesses = p.total_txns;
+    r.events = sys.eventq().eventsExecuted();
+    r.host_seconds = host;
+    r.sim_ms = static_cast<double>(sys.metrics().exec_time) /
+               static_cast<double>(kMillisecond);
+    r.accesses_per_sec =
+        host > 0.0 ? static_cast<double>(p.total_txns) / host : 0.0;
+    r.peak_rss_bytes = peakRssBytes();
+    r.dense_extrapolation_bytes = 2ull * cfg.phys_size;
+    r.initial_keys = p.initial_keys;
     return r;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
-    const std::vector<Cell> cells = {
-        {"resident/ThyNVM", 16u << 10, 1024, 500000, kBaselineResidentAps},
-        {"thrash/ThyNVM", 24u << 20, 64, 150000, kBaselineThrashAps},
-    };
-
-    heading("Memory datapath speed: demand accesses per host second");
-    std::printf("%-20s %10s %10s %12s %14s %8s\n", "cell", "accesses",
-                "host_s", "accesses/s", "baseline", "speedup");
+    const bool gb_smoke =
+        argc > 1 && std::strcmp(argv[1], "--gb-smoke") == 0;
 
     std::vector<MemResult> results;
-    for (const Cell& cell : cells) {
-        MemResult r = measure(cell);
-        std::printf("%-20s %10llu %10.2f %12.0f %14.0f %7.2fx\n",
+    heading("Memory datapath speed: demand accesses per host second");
+    std::printf("%-20s %10s %10s %12s %14s %8s %10s\n", "cell",
+                "accesses", "host_s", "accesses/s", "baseline",
+                "speedup", "rss_mb");
+
+    if (!gb_smoke) {
+        const std::vector<Cell> cells = {
+            {"resident/ThyNVM", 16u << 10, 1024, 500000,
+             kBaselineResidentAps},
+            {"thrash/ThyNVM", 24u << 20, 64, 150000, kBaselineThrashAps},
+        };
+        for (const Cell& cell : cells)
+            results.push_back(measure(cell));
+    }
+    // Largest footprint last so the monotone ru_maxrss reading is
+    // attributable (see file comment).
+    results.push_back(measureGbKv(gb_smoke));
+
+    for (const MemResult& r : results) {
+        std::printf("%-20s %10llu %10.2f %12.0f %14.0f %7.2fx %9.1f\n",
                     r.label.c_str(),
                     static_cast<unsigned long long>(r.accesses),
                     r.host_seconds, r.accesses_per_sec, r.baseline_aps,
-                    r.speedup);
-        results.push_back(std::move(r));
+                    r.speedup, mb(r.peak_rss_bytes));
+        if (r.dense_extrapolation_bytes != 0) {
+            const double ratio =
+                static_cast<double>(r.dense_extrapolation_bytes) /
+                static_cast<double>(r.peak_rss_bytes);
+            std::printf("%-20s peak RSS %.1f MB vs dense extrapolation "
+                        "%.1f MB (%.1fx below)\n",
+                        "", mb(r.peak_rss_bytes),
+                        mb(r.dense_extrapolation_bytes), ratio);
+        }
     }
 
     FILE* f = std::fopen("BENCH_memspeed.json", "w");
@@ -131,7 +217,7 @@ main()
         return 1;
     }
     std::fprintf(f, "{\n  \"benchmark\": \"memspeed\",\n");
-    std::fprintf(f, "  \"workload\": \"micro_random\",\n");
+    std::fprintf(f, "  \"workload\": \"micro_random+gb_kv\",\n");
     std::fprintf(f, "  \"threads\": 1,\n");
     std::fprintf(f, "  \"host_threads\": %u,\n",
                  std::thread::hardware_concurrency());
@@ -143,13 +229,26 @@ main()
                      "\"events\": %llu, \"host_seconds\": %.3f, "
                      "\"sim_ms\": %.3f, \"accesses_per_sec\": %.0f, "
                      "\"baseline_accesses_per_sec\": %.0f, "
-                     "\"speedup\": %.2f}%s\n",
+                     "\"speedup\": %.2f, \"peak_rss_bytes\": %llu",
                      r.label.c_str(),
                      static_cast<unsigned long long>(r.accesses),
                      static_cast<unsigned long long>(r.events),
                      r.host_seconds, r.sim_ms, r.accesses_per_sec,
                      r.baseline_aps, r.speedup,
-                     i + 1 == results.size() ? "" : ",");
+                     static_cast<unsigned long long>(r.peak_rss_bytes));
+        if (r.dense_extrapolation_bytes != 0) {
+            std::fprintf(
+                f,
+                ", \"initial_keys\": %llu, "
+                "\"dense_extrapolation_bytes\": %llu, "
+                "\"rss_reduction_vs_dense\": %.1f",
+                static_cast<unsigned long long>(r.initial_keys),
+                static_cast<unsigned long long>(
+                    r.dense_extrapolation_bytes),
+                static_cast<double>(r.dense_extrapolation_bytes) /
+                    static_cast<double>(r.peak_rss_bytes));
+        }
+        std::fprintf(f, "}%s\n", i + 1 == results.size() ? "" : ",");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -73,6 +73,8 @@ struct SpeedResult
     double events_per_sec = 0.0;
     double host_sec_per_sim_ms = 0.0;
     Tick final_tick = 0;
+    /** Process peak RSS after the cell (monotone across cells). */
+    std::uint64_t peak_rss_bytes = 0;
 };
 
 MicroWorkload::Params
@@ -115,6 +117,7 @@ measure(SystemKind kind, MicroWorkload::Pattern pattern)
         host > 0.0 ? static_cast<double>(r.events) / host : 0.0;
     r.host_sec_per_sim_ms = r.sim_ms > 0.0 ? host / r.sim_ms : 0.0;
     r.final_tick = end;
+    r.peak_rss_bytes = peakRssBytes();
     return r;
 }
 
@@ -415,11 +418,13 @@ main(int argc, char** argv)
                      "    {\"label\": \"%s\", \"events\": %llu, "
                      "\"host_seconds\": %.3f, \"sim_ms\": %.3f, "
                      "\"events_per_sec\": %.0f, "
-                     "\"host_sec_per_sim_ms\": %.5f}%s\n",
+                     "\"host_sec_per_sim_ms\": %.5f, "
+                     "\"peak_rss_bytes\": %llu}%s\n",
                      r.label.c_str(),
                      static_cast<unsigned long long>(r.events),
                      r.host_seconds, r.sim_ms, r.events_per_sec,
                      r.host_sec_per_sim_ms,
+                     static_cast<unsigned long long>(r.peak_rss_bytes),
                      i + 1 == results.size() ? "" : ",");
     }
     std::fprintf(f, "  ]\n}\n");

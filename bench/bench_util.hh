@@ -14,6 +14,8 @@
 #ifndef THYNVM_BENCH_BENCH_UTIL_HH
 #define THYNVM_BENCH_BENCH_UTIL_HH
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
@@ -177,6 +179,21 @@ inline double
 mb(std::uint64_t bytes)
 {
     return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+/**
+ * Peak resident set size of this process in bytes (getrusage
+ * ru_maxrss; kilobytes on Linux). The value is a process-lifetime
+ * high-water mark, so per-cell readings are monotone: order cells
+ * smallest-footprint first and the reading taken after each cell is
+ * that cell's effective peak.
+ */
+inline std::uint64_t
+peakRssBytes()
+{
+    struct rusage ru = {};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
 }
 
 /** Print a separator + heading for the human-readable result block. */

@@ -116,6 +116,23 @@ class IdealController : public MemController
     }
 
     void
+    forEachTouchedPhysRange(
+        const std::function<void(Addr, std::size_t)>& fn) const override
+    {
+        // The flat space maps identity onto the device; functionalRead
+        // overlays staged port writes on the store.
+        dev_.store().forEachTouchedRange(
+            [&](Addr a, const std::uint8_t*, std::size_t len) {
+                if (a < phys_size_)
+                    fn(a, std::min(len, phys_size_ - a));
+            });
+        port_.forEachStagedWriteAddr([&](Addr a) {
+            if (a < phys_size_)
+                fn(a, kBlockSize);
+        });
+    }
+
+    void
     crash() override
     {
         // Idealized systems are *assumed* to provide crash consistency

@@ -172,6 +172,26 @@ JournalController::loadImage(Addr paddr, const void* buf, std::size_t len)
 }
 
 void
+JournalController::forEachTouchedPhysRange(
+    const std::function<void(Addr, std::size_t)>& fn) const
+{
+    // Home region is NVM at identity addresses below phys_size; the
+    // journal/header/CPU areas above it are never software-visible.
+    nvm_dev_.store().forEachTouchedRange(
+        [&](Addr a, const std::uint8_t*, std::size_t len) {
+            if (a < cfg_.phys_size)
+                fn(a, std::min(len, cfg_.phys_size - a));
+        });
+    nvm_port_.forEachStagedWriteAddr([&](Addr a) {
+        if (a < cfg_.phys_size)
+            fn(a, kBlockSize);
+    });
+    // Blocks redirected to the DRAM journal buffer.
+    for (const auto& [paddr, slot] : table_)
+        fn(paddr, kBlockSize);
+}
+
+void
 JournalController::doCheckpoint(std::function<void()> done)
 {
     crashPoint("ckpt.start");

@@ -243,6 +243,40 @@ ShadowController::loadImage(Addr paddr, const void* buf, std::size_t len)
 }
 
 void
+ShadowController::forEachTouchedPhysRange(
+    const std::function<void(Addr, std::size_t)>& fn) const
+{
+    // NVM page slots: slot 0 of page i lives at i*kPageSize, slot 1 at
+    // phys_size + i*kPageSize (see nvmPageAddr). Both regions are
+    // phys_size long and kPageSize-aligned, and touched-range chunks
+    // never straddle a host page, so mapping a chunk's base address
+    // back to its physical page is exact. Device areas beyond the two
+    // slot regions (page table, headers, CPU state) are never
+    // software-visible.
+    const auto mapNvm = [&](Addr a, std::size_t len) {
+        const Addr end = a + len;
+        if (a < cfg_.phys_size) {
+            const Addr hi = std::min<Addr>(end, cfg_.phys_size);
+            fn(a, hi - a);
+        }
+        const Addr lo1 = std::max<Addr>(a, cfg_.phys_size);
+        const Addr hi1 = std::min<Addr>(end, 2 * cfg_.phys_size);
+        if (lo1 < hi1)
+            fn(lo1 - cfg_.phys_size, hi1 - lo1);
+    };
+    nvm_dev_.store().forEachTouchedRange(
+        [&](Addr a, const std::uint8_t*, std::size_t len) {
+            mapNvm(a, len);
+        });
+    nvm_port_.forEachStagedWriteAddr(
+        [&](Addr a) { mapNvm(a, kBlockSize); });
+    // Pages faulted into the DRAM working set shadow whatever is in
+    // NVM for reads.
+    for (const auto& [page, r] : resident_)
+        fn(page, kPageSize);
+}
+
+void
 ShadowController::doCheckpoint(std::function<void()> done)
 {
     crashPoint("ckpt.start");

@@ -73,6 +73,8 @@ class ShadowController : public EpochController
 
     void functionalRead(Addr paddr, void* buf,
                         std::size_t len) const override;
+    void forEachTouchedPhysRange(
+        const std::function<void(Addr, std::size_t)>& fn) const override;
     void loadImage(Addr paddr, const void* buf, std::size_t len) override;
     void crash() override;
     void recover(std::function<void()> done) override;

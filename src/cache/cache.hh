@@ -86,6 +86,23 @@ class Cache : public SimObject, public BlockAccessor
     /** Number of dirty blocks currently held. O(1). */
     std::size_t dirtyBlockCount() const { return dirty_lines_; }
 
+    /**
+     * Enumerate the block addresses of all valid dirty lines as
+     * fn(paddr). The functional view overlays cache contents on the
+     * controller image, so touched-range enumeration must include
+     * dirty blocks (clean lines mirror the controller and need no
+     * report).
+     */
+    template <typename Fn>
+    void
+    forEachDirtyBlock(Fn&& fn) const
+    {
+        for (const Line& line : lines_) {
+            if (line.valid && line.dirty)
+                fn(line.tag);
+        }
+    }
+
     /** Cache geometry. */
     const Params& params() const { return params_; }
 

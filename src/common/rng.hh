@@ -10,6 +10,7 @@
 #ifndef THYNVM_COMMON_RNG_HH
 #define THYNVM_COMMON_RNG_HH
 
+#include <cmath>
 #include <cstdint>
 
 #include "common/logging.hh"
@@ -96,6 +97,101 @@ class Rng
     }
 
     std::uint64_t state_[4];
+};
+
+/**
+ * Zipfian rank generator in the rejection-free closed form of Gray et
+ * al. ("Quickly generating billion-record synthetic databases",
+ * SIGMOD'94), as popularized by YCSB. Rank 0 is the most popular item;
+ * rank r is drawn with probability proportional to 1/(r+1)^theta.
+ *
+ * Construction is O(n) (the harmonic-like normalizer zeta(n, theta) is
+ * summed once); each draw is O(1) and consumes exactly one value from
+ * the supplied Rng. The generator itself is stateless across draws, so
+ * workloads can snapshot/restore just their Rng and replay the same
+ * key sequence — the property KvWorkload's checkpointed generator
+ * state relies on.
+ */
+class ZipfianGenerator
+{
+  public:
+    /**
+     * @param n item count (ranks 0..n-1); must be >= 2.
+     * @param theta skew in (0, 1); 0.99 is the YCSB default.
+     */
+    explicit ZipfianGenerator(std::uint64_t n, double theta = 0.99)
+        : n_(n), theta_(theta)
+    {
+        panic_if(n < 2, "ZipfianGenerator needs at least 2 items");
+        panic_if(theta <= 0.0 || theta >= 1.0,
+                 "zipfian theta must be in (0, 1)");
+        for (std::uint64_t i = 1; i <= n_; ++i)
+            zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+        const double zeta2 =
+            1.0 + 1.0 / std::pow(2.0, theta_);
+        alpha_ = 1.0 / (1.0 - theta_);
+        eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_),
+                               1.0 - theta_)) /
+               (1.0 - zeta2 / zetan_);
+        half_pow_theta_ = std::pow(0.5, theta_);
+    }
+
+    std::uint64_t itemCount() const { return n_; }
+    double theta() const { return theta_; }
+
+    /** Analytic probability of rank @p r (for tests). */
+    double
+    probability(std::uint64_t r) const
+    {
+        return 1.0 /
+               (std::pow(static_cast<double>(r + 1), theta_) * zetan_);
+    }
+
+    /** Draw a rank in [0, n): 0 is most popular. */
+    std::uint64_t
+    next(Rng& rng) const
+    {
+        const double u = rng.uniform();
+        const double uz = u * zetan_;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + half_pow_theta_)
+            return 1;
+        const std::uint64_t r = static_cast<std::uint64_t>(
+            static_cast<double>(n_) *
+            std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        return r >= n_ ? n_ - 1 : r;
+    }
+
+    /**
+     * Draw a rank and scatter it over [0, n) with an FNV-1a hash, so
+     * the popular items are spread across the key space instead of
+     * clustered at the low keys (the YCSB "scrambled zipfian" idiom).
+     */
+    std::uint64_t
+    nextScrambled(Rng& rng) const
+    {
+        return fnv64(next(rng)) % n_;
+    }
+
+  private:
+    static std::uint64_t
+    fnv64(std::uint64_t x)
+    {
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        for (int i = 0; i < 8; ++i) {
+            h ^= (x >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+        return h;
+    }
+
+    std::uint64_t n_;
+    double theta_;
+    double zetan_ = 0.0;
+    double alpha_ = 0.0;
+    double eta_ = 0.0;
+    double half_pow_theta_ = 0.0;
 };
 
 } // namespace thynvm

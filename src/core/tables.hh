@@ -119,6 +119,9 @@ class TranslationTable
           free_prev_(capacity, npos),
           in_free_(capacity, 0)
     {
+        // A table runs steady-state near capacity; pre-sizing the
+        // address map avoids rehash churn as entries cycle.
+        map_.reserve(capacity);
         resetFreeList();
     }
 
@@ -196,13 +199,32 @@ class TranslationTable
         return entries_[idx];
     }
 
-    /** Invoke @p fn(index, entry) for every live entry. */
+    /**
+     * Invoke @p fn(index, entry) for every live entry, in ascending
+     * index order. The order is load-bearing: checkpoint scheduling and
+     * migration scans consume it, so it must not depend on hash-map
+     * internals (bucket layout varies with the standard library and
+     * with reserve()); index order keeps committed goldens portable.
+     */
     template <typename Fn>
     void
     forEachLive(Fn&& fn)
     {
-        for (auto& [paddr, idx] : map_)
-            fn(idx, entries_[idx]);
+        for (std::size_t idx = 0; idx < entries_.size(); ++idx) {
+            if (tagOf(entries_[idx]) != kInvalidAddr)
+                fn(idx, entries_[idx]);
+        }
+    }
+
+    /** Const overload for stats and touched-set enumeration paths. */
+    template <typename Fn>
+    void
+    forEachLive(Fn&& fn) const
+    {
+        for (std::size_t idx = 0; idx < entries_.size(); ++idx) {
+            if (tagOf(entries_[idx]) != kInvalidAddr)
+                fn(idx, entries_[idx]);
+        }
     }
 
     /** Drop all entries (volatile table lost at power failure). */
@@ -224,6 +246,8 @@ class TranslationTable
   private:
     static Addr& tagOf(BttEntry& e) { return e.block_paddr; }
     static Addr& tagOf(PttEntry& e) { return e.page_paddr; }
+    static Addr tagOf(const BttEntry& e) { return e.block_paddr; }
+    static Addr tagOf(const PttEntry& e) { return e.page_paddr; }
 
     void
     pushFree(std::size_t idx)

@@ -146,6 +146,34 @@ ThyNvmController::loadImage(Addr paddr, const void* buf, std::size_t len)
 }
 
 void
+ThyNvmController::forEachTouchedPhysRange(
+    const std::function<void(Addr, std::size_t)>& fn) const
+{
+    // The Home region maps physical addresses at identity (home_base_
+    // is 0); everything above it — checkpoint regions A/B, table
+    // images, headers, CPU areas — is only software-visible through a
+    // live BTT/PTT/overflow mapping, so reporting those tags covers
+    // it. DRAM working copies are likewise only visible via tables.
+    nvm_dev_.store().forEachTouchedRange(
+        [&](Addr a, const std::uint8_t*, std::size_t len) {
+            if (a < cfg_.phys_size)
+                fn(a, std::min(len, cfg_.phys_size - a));
+        });
+    nvm_port_.forEachStagedWriteAddr([&](Addr a) {
+        if (a < cfg_.phys_size)
+            fn(a, kBlockSize);
+    });
+    btt_.forEachLive([&](std::size_t, const BttEntry& e) {
+        fn(e.block_paddr, kBlockSize);
+    });
+    ptt_.forEachLive([&](std::size_t, const PttEntry& e) {
+        fn(e.page_paddr, kPageSize);
+    });
+    for (const auto& [block_paddr, slot] : overflow_map_)
+        fn(block_paddr, kBlockSize);
+}
+
+void
 ThyNvmController::functionalRead(Addr paddr, void* buf,
                                  std::size_t len) const
 {

@@ -79,6 +79,8 @@ class ThyNvmController : public MemController
     }
     void functionalRead(Addr paddr, void* buf,
                         std::size_t len) const override;
+    void forEachTouchedPhysRange(
+        const std::function<void(Addr, std::size_t)>& fn) const override;
     void loadImage(Addr paddr, const void* buf, std::size_t len) override;
     void start() override;
     void crash() override;

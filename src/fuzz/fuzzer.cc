@@ -218,12 +218,22 @@ makeSystemConfig(const FuzzerConfig& fc, SystemKind kind, bool fast_path,
 
 namespace {
 
-/** Read the full physical image through the system's functional view. */
+/**
+ * Read the full physical image through the system's functional view.
+ * Only touched pages are pulled (untouched pages read zero by the
+ * touched-set contract, and the buffer starts zeroed), so capture cost
+ * scales with the workload footprint, not the machine size.
+ */
 std::vector<std::uint8_t>
 captureImage(System& sys, std::size_t phys_size)
 {
-    std::vector<std::uint8_t> img(phys_size);
-    sys.functionalView()(0, img.data(), img.size());
+    std::vector<std::uint8_t> img(phys_size, 0);
+    FunctionalView view = sys.functionalView();
+    for (Addr page : sys.touchedPhysPages()) {
+        const std::size_t len =
+            std::min<std::size_t>(kPageSize, phys_size - page);
+        view(page, img.data() + page, len);
+    }
     return img;
 }
 

@@ -125,7 +125,7 @@ ChannelGroup::ChannelGroup(EventQueue& eq, std::string name,
         root_store_ = std::move(nvm_store);
     }
 
-    mirror_.assign(cfg_.phys_size, 0);
+    mirror_ = PagedBytes(cfg_.phys_size);
 
     chs_.reserve(cfg_.channels);
     for (unsigned i = 0; i < cfg_.channels; ++i) {
@@ -258,7 +258,7 @@ ChannelGroup::accessBlock(Addr paddr, bool is_write,
         // contract). Timed: ship the data by value across the
         // interconnect; the channel controller applies it to its own
         // state and acknowledges.
-        std::memcpy(mirror_.data() + paddr, wdata, kBlockSize);
+        mirror_.write(paddr, wdata, kBlockSize);
         auto data = std::make_shared<std::array<std::uint8_t, kBlockSize>>();
         std::memcpy(data->data(), wdata, kBlockSize);
         postToChannel(ch, [this, ch, local, source, data, reply] {
@@ -275,7 +275,7 @@ ChannelGroup::accessBlock(Addr paddr, bool is_write,
         // Functional fill from the mirror, synchronously; the timed
         // read runs channel-side into a scratch buffer purely for its
         // latency and traffic accounting.
-        std::memcpy(rdata, mirror_.data() + paddr, kBlockSize);
+        mirror_.read(paddr, rdata, kBlockSize);
         postToChannel(ch, [this, ch, local, source, reply] {
             auto rbuf =
                 std::make_shared<std::array<std::uint8_t, kBlockSize>>();
@@ -304,15 +304,25 @@ ChannelGroup::functionalRead(Addr paddr, void* buf, std::size_t len) const
 {
     panic_if(paddr + len > cfg_.phys_size,
              "functional read beyond physical space");
-    std::memcpy(buf, mirror_.data() + paddr, len);
+    mirror_.read(paddr, buf, len);
+}
+
+void
+ChannelGroup::forEachTouchedPhysRange(
+    const std::function<void(Addr, std::size_t)>& fn) const
+{
+    // functionalRead resolves purely from the core-side mirror, so the
+    // mirror's touched pages are exactly the group's touched set.
+    mirror_.forEachTouchedRange(
+        0, cfg_.phys_size,
+        [&](Addr a, const std::uint8_t*, std::size_t len) { fn(a, len); });
 }
 
 void
 ChannelGroup::loadImage(Addr paddr, const void* buf, std::size_t len)
 {
     panic_if(paddr + len > cfg_.phys_size, "image beyond physical space");
-    std::memcpy(mirror_.data() + paddr, static_cast<const std::uint8_t*>(buf),
-                len);
+    mirror_.write(paddr, buf, len);
     // Forward block-granular chunks to the owning channels' durable
     // home locations (zero-time, pre-simulation — direct calls).
     const auto* p = static_cast<const std::uint8_t*>(buf);
@@ -395,10 +405,40 @@ ChannelGroup::recover(std::function<void()> done)
     recovered_cpu_ = chs_[0]->ctrl->recoveredCpuState();
 
     // Rebuild the core-side functional mirror from the recovered
-    // channel images.
-    for (Addr a = 0; a < cfg_.phys_size; a += kBlockSize)
-        chs_[il_.channelOf(a)]->ctrl->functionalRead(
-            il_.localAddr(a), mirror_.data() + a, kBlockSize);
+    // channel images. Clear it first (a second crash in the same life
+    // could otherwise leave stale pre-crash data where the recovered
+    // image is zero), then pull only the ranges each channel reports
+    // as touched: every unreported local byte functionally reads zero,
+    // which the cleared mirror already holds — O(touched) instead of
+    // O(capacity).
+    mirror_.clear();
+    const std::size_t ch_phys = il_.localCapacity(cfg_.phys_size);
+    const std::size_t ch_pages = (ch_phys + kPageSize - 1) / kPageSize;
+    std::vector<std::uint8_t> touched(ch_pages, 0);
+    for (unsigned ci = 0; ci < cfg_.channels; ++ci) {
+        std::fill(touched.begin(), touched.end(), 0);
+        chs_[ci]->ctrl->forEachTouchedPhysRange(
+            [&](Addr a, std::size_t len) {
+                if (a >= ch_phys)
+                    return;
+                len = std::min(len, ch_phys - a);
+                for (std::size_t pg = a / kPageSize;
+                     pg * kPageSize < a + len; ++pg)
+                    touched[pg] = 1;
+            });
+        for (std::size_t pg = 0; pg < ch_pages; ++pg) {
+            if (!touched[pg])
+                continue;
+            const Addr page_end =
+                std::min<Addr>((pg + 1) * kPageSize, ch_phys);
+            for (Addr local = pg * kPageSize; local < page_end;
+                 local += kBlockSize) {
+                std::uint8_t blk[kBlockSize];
+                chs_[ci]->ctrl->functionalRead(local, blk, kBlockSize);
+                mirror_.write(il_.globalAddr(ci, local), blk, kBlockSize);
+            }
+        }
+    }
 
     // Align every clock to the slowest channel (recovery is a reboot:
     // the machine comes back at one instant) and land the completion

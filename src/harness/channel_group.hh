@@ -52,6 +52,7 @@
 #include "harness/system_kind.hh"
 #include "mem/controller.hh"
 #include "mem/interleave.hh"
+#include "mem/paged_bytes.hh"
 
 namespace thynvm {
 
@@ -111,6 +112,8 @@ class ChannelGroup : public MemController
     }
     void functionalRead(Addr paddr, void* buf,
                         std::size_t len) const override;
+    void forEachTouchedPhysRange(
+        const std::function<void(Addr, std::size_t)>& fn) const override;
     void loadImage(Addr paddr, const void* buf, std::size_t len) override;
     void start() override;
     void crash() override;
@@ -203,7 +206,7 @@ class ChannelGroup : public MemController
     std::shared_ptr<BackingStore> root_store_;
     std::vector<std::unique_ptr<Channel>> chs_;
     /** Core-side functional mirror of software-visible memory. */
-    std::vector<std::uint8_t> mirror_;
+    PagedBytes mirror_;
 
     ShardedKernel* kernel_ = nullptr;
     unsigned core_shard_ = 0;

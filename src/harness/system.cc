@@ -166,6 +166,35 @@ System::functionalView()
     };
 }
 
+std::vector<Addr>
+System::touchedPhysPages() const
+{
+    const std::size_t phys = cfg_.phys_size;
+    const std::size_t npages = (phys + kPageSize - 1) / kPageSize;
+    std::vector<std::uint8_t> bits(npages, 0);
+    const auto mark = [&](Addr a, std::size_t len) {
+        if (a >= phys)
+            return;
+        len = std::min(len, phys - a);
+        for (std::size_t pg = a / kPageSize; pg * kPageSize < a + len;
+             ++pg)
+            bits[pg] = 1;
+    };
+    controller_->forEachTouchedPhysRange(mark);
+    // The functional view overlays cache contents; dirty lines may
+    // hold data the controller has never seen (clean lines mirror it).
+    for (const Cache* c : {l1_.get(), l2_.get(), l3_.get()}) {
+        if (c != nullptr)
+            c->forEachDirtyBlock([&](Addr a) { mark(a, kBlockSize); });
+    }
+    std::vector<Addr> pages;
+    for (std::size_t pg = 0; pg < npages; ++pg) {
+        if (bits[pg])
+            pages.push_back(pg * kPageSize);
+    }
+    return pages;
+}
+
 void
 System::start()
 {

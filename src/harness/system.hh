@@ -196,6 +196,15 @@ class System
     FunctionalView functionalView();
 
     /**
+     * Ascending page-aligned addresses of every physical page that may
+     * hold nonzero data through functionalView(): the controller's
+     * touched set (backing-store pages, staged writes, live remap
+     * entries) plus dirty cache lines. Pages not listed read zero, so
+     * whole-image capture is O(touched) instead of O(capacity).
+     */
+    std::vector<Addr> touchedPhysPages() const;
+
+    /**
      * Dump every stat in the system — CPU, caches, controller, devices —
      * plus the current tick, in a fixed order. Equivalence and
      * determinism tests compare these dumps as strings. The executed

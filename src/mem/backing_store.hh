@@ -7,6 +7,13 @@
  * current data synchronously. Durability across a crash is handled by the
  * device, which records undo bytes for queued-but-unserviced writes and
  * rolls them back at crash time (see MemDevice::crash()).
+ *
+ * Storage is a sparse copy-on-write PagedBytes (4 KiB pages allocated on
+ * first write, implicit zero page elsewhere), so a GB-scale machine only
+ * pays host memory for pages it actually dirties, clone() is O(touched),
+ * and recovery/oracle passes can enumerate the touched set instead of
+ * scanning the whole capacity. THYNVM_DENSE_STORE swaps in the flat
+ * fallback (see paged_bytes.hh).
  */
 
 #ifndef THYNVM_MEM_BACKING_STORE_HH
@@ -15,48 +22,50 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
-#include <vector>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "mem/paged_bytes.hh"
 
 namespace thynvm {
 
 /**
  * A flat byte array addressed by device-local addresses.
  *
- * A store is either a *root* (owns its bytes) or a *view* over a
+ * A store is either a *root* (owns its pages) or a *view* over a
  * contiguous sub-range of a parent store. Views are how a multi-channel
  * machine carves one crash-surviving NVM image into per-channel device
  * stores: each channel addresses its slice with channel-local addresses
- * while the root handle is what survives System::crash().
+ * while the root handle is what survives System::crash(). Views resolve
+ * to the ultimate root at construction (a view of a view composes
+ * offsets), so every access is one indirection.
  */
 class BackingStore
 {
   public:
     /** Create a zero-initialized root store of @p capacity bytes. */
     explicit BackingStore(std::size_t capacity)
-        : bytes_(capacity, 0), base_(bytes_.data()), size_(capacity)
+        : bytes_(capacity), size_(capacity)
     {}
 
     /**
      * Create a view over bytes [@p offset, @p offset + @p capacity) of
      * @p parent. The view shares the parent's storage (writes through
-     * either are visible to both) and keeps the parent alive.
+     * either are visible to both) and keeps the root alive.
      */
     BackingStore(std::shared_ptr<BackingStore> parent, std::size_t offset,
                  std::size_t capacity)
-        : parent_(std::move(parent)),
-          base_(nullptr),
-          size_(capacity)
+        : size_(capacity)
     {
-        panic_if(parent_ == nullptr, "backing-store view of null parent");
-        panic_if(offset + capacity > parent_->size_ ||
+        panic_if(parent == nullptr, "backing-store view of null parent");
+        panic_if(offset + capacity > parent->size_ ||
                      offset + capacity < offset,
                  "backing-store view out of range: offset=%zu len=%zu "
                  "parent=%zu",
-                 offset, capacity, parent_->size_);
-        base_ = parent_->base_ + offset;
+                 offset, capacity, parent->size_);
+        offset_ = parent->offset_ + offset;
+        root_ = parent->root_ ? parent->root_ : std::move(parent);
     }
 
     /** Capacity in bytes. */
@@ -67,7 +76,7 @@ class BackingStore
     read(Addr addr, void* buf, std::size_t len) const
     {
         checkRange(addr, len);
-        std::memcpy(buf, base_ + addr, len);
+        target().read(offset_ + addr, buf, len);
     }
 
     /** Write @p len bytes from @p buf at @p addr. */
@@ -75,7 +84,7 @@ class BackingStore
     write(Addr addr, const void* buf, std::size_t len)
     {
         checkRange(addr, len);
-        std::memcpy(base_ + addr, buf, len);
+        target().write(offset_ + addr, buf, len);
     }
 
     /** Fill @p len bytes at @p addr with @p value. */
@@ -83,35 +92,77 @@ class BackingStore
     fill(Addr addr, std::uint8_t value, std::size_t len)
     {
         checkRange(addr, len);
-        std::memset(base_ + addr, value, len);
+        target().fill(offset_ + addr, value, len);
     }
-
-    /** Direct pointer access for bulk comparison in tests. */
-    const std::uint8_t* data() const { return base_; }
 
     /** Zero the store (views zero only their range). */
     void
     clear()
     {
-        std::memset(base_, 0, size_);
+        target().clearRange(offset_, size_);
     }
 
     /**
-     * Deep copy of the current contents (views copy only their range,
-     * into a fresh root store). Crash tests use clones to recover the
-     * same surviving image several times independently (recovery may
+     * Copy of the current contents (views copy only their range, into
+     * a fresh root store). Crash tests use clones to recover the same
+     * surviving image several times independently (recovery may
      * legitimately write to the store, e.g. a journal replay, so
-     * sharing one store would couple the attempts).
+     * sharing one store would couple the attempts). A root clone is a
+     * COW share — O(pages-table), paying only for pages that later
+     * diverge; a view clone copies the view's touched pages.
      */
     std::shared_ptr<BackingStore>
     clone() const
     {
         auto copy = std::make_shared<BackingStore>(size_);
-        std::memcpy(copy->base_, base_, size_);
+        if (root_ == nullptr && offset_ == 0) {
+            copy->bytes_ = bytes_; // COW share
+            return copy;
+        }
+        target().forEachTouchedRange(
+            offset_, offset_ + size_,
+            [&](Addr a, const std::uint8_t* data, std::size_t len) {
+                copy->bytes_.write(a - offset_, data, len);
+            });
         return copy;
     }
 
+    /**
+     * Enumerate touched bytes of this store (views: of their range,
+     * with view-local addresses) as fn(addr, data, len), ascending.
+     * Any byte not reported reads as zero. Requires quiescence.
+     */
+    template <typename Fn>
+    void
+    forEachTouchedRange(Fn&& fn) const
+    {
+        target().forEachTouchedRange(
+            offset_, offset_ + size_,
+            [&](Addr a, const std::uint8_t* data, std::size_t len) {
+                fn(a - offset_, data, len);
+            });
+    }
+
+    /** Materialized page count of the underlying root store. */
+    std::size_t
+    touchedPageCount() const
+    {
+        return target().touchedPageCount();
+    }
+
   private:
+    const PagedBytes&
+    target() const
+    {
+        return root_ ? root_->bytes_ : bytes_;
+    }
+
+    PagedBytes&
+    target()
+    {
+        return root_ ? root_->bytes_ : bytes_;
+    }
+
     void
     checkRange(Addr addr, std::size_t len) const
     {
@@ -121,9 +172,9 @@ class BackingStore
                  static_cast<unsigned long long>(addr), len, size_);
     }
 
-    std::vector<std::uint8_t> bytes_; //!< root storage (empty in views)
-    std::shared_ptr<BackingStore> parent_; //!< keep-alive (views only)
-    std::uint8_t* base_;
+    PagedBytes bytes_;                   //!< root storage (empty in views)
+    std::shared_ptr<BackingStore> root_; //!< keep-alive (views only)
+    std::size_t offset_ = 0;             //!< absolute offset into root
     std::size_t size_;
 };
 

@@ -115,6 +115,24 @@ class MemController : public SimObject, public BlockAccessor
     virtual void loadImage(Addr paddr, const void* buf,
                            std::size_t len) = 0;
 
+    /**
+     * Enumerate physical-address ranges that may hold nonzero data, as
+     * fn(paddr, len). Contract: any physical byte NOT covered by a
+     * reported range reads zero via functionalRead(). Ranges may
+     * overlap, repeat, and be reported in any order — callers dedup
+     * (e.g. into a page bitmap). Concrete controllers override this
+     * with the union of their touched backing-store pages, staged port
+     * writes, and live remap-table entries, making whole-image capture
+     * and mirror rebuilds O(touched) instead of O(capacity); the
+     * default conservatively reports the entire space.
+     */
+    virtual void
+    forEachTouchedPhysRange(
+        const std::function<void(Addr, std::size_t)>& fn) const
+    {
+        fn(0, physCapacity());
+    }
+
     /** Begin operation (arm epoch timers, etc.). */
     virtual void start() {}
 

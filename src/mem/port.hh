@@ -122,6 +122,20 @@ class DevicePort
         dev_.store().read(addr, buf, len);
     }
 
+    /**
+     * Enumerate the block addresses with a staged (not yet accepted)
+     * write, one call per distinct address. Touched-range enumeration
+     * uses this to cover data functionalRead() resolves from the FIFO
+     * rather than the backing store.
+     */
+    template <typename Fn>
+    void
+    forEachStagedWriteAddr(Fn&& fn) const
+    {
+        for (const auto& [addr, sw] : staged_writes_)
+            fn(addr);
+    }
+
     /** Requests staged but not yet accepted by the device. */
     std::size_t
     pending() const

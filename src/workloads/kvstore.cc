@@ -88,6 +88,15 @@ KvWorkload::KvWorkload(const Params& p) : p_(p), rng_(p.seed)
              "value size out of range");
     fatal_if(p_.search_frac + p_.insert_frac > 1.0,
              "operation mix exceeds 1.0");
+    zipf_ = makeKeyGenerator(p_);
+}
+
+std::unique_ptr<ZipfianGenerator>
+KvWorkload::makeKeyGenerator(const Params& p)
+{
+    if (p.zipf_theta == 0.0)
+        return nullptr;
+    return std::make_unique<ZipfianGenerator>(p.key_space, p.zipf_theta);
 }
 
 void
@@ -118,11 +127,13 @@ KvWorkload::buildInitialImage(const Params& p, HostMemSpace& img)
 
 void
 KvWorkload::applyTxn(const Params& p, MemSpace& mem, Rng& rng,
-                     std::uint64_t txn_no)
+                     std::uint64_t txn_no, const ZipfianGenerator* zipf)
 {
     SimHeap heap(heapBase(), p.phys_size - heapBase());
     const double dice = rng.uniform();
-    const std::uint64_t key = rng.below(p.key_space);
+    const std::uint64_t key = zipf != nullptr
+                                  ? zipf->nextScrambled(rng)
+                                  : rng.below(p.key_space);
 
     std::vector<std::uint8_t> value(p.value_size);
     auto run = [&](auto& store) {
@@ -157,7 +168,14 @@ KvWorkload::init(MemController& mem)
     mem_ = &mem;
     HostMemSpace img(p_.phys_size);
     buildInitialImage(p_, img);
-    mem.loadImage(0, img.bytes().data(), img.bytes().size());
+    // Load only the touched ranges of the sparse image: controllers
+    // start zeroed and loadImage is a pure store write, so skipping
+    // the untouched (all-zero) ranges lands the identical image at
+    // O(touched) cost — what makes a multi-GiB phys_size feasible.
+    img.forEachTouchedRange(
+        [&mem](Addr a, const std::uint8_t* data, std::size_t len) {
+            mem.loadImage(a, data, len);
+        });
     if (!fview_) {
         // Fall back to the controller's visible state (no caches).
         fview_ = [this](Addr a, void* buf, std::size_t len) {
@@ -171,7 +189,7 @@ KvWorkload::planNextTxn()
 {
     panic_if(!fview_, "KvWorkload used without a functional view");
     TxnSpace space(fview_);
-    applyTxn(p_, space, rng_, ++txns_planned_);
+    applyTxn(p_, space, rng_, ++txns_planned_, zipf_.get());
     for (auto& e : space.log()) {
         PlannedOp op;
         op.is_load = e.is_load;
@@ -287,8 +305,9 @@ KvWorkload::runReference(const Params& p, std::uint64_t txns,
 {
     buildInitialImage(p, out);
     Rng rng(p.seed);
+    const std::unique_ptr<ZipfianGenerator> zipf = makeKeyGenerator(p);
     for (std::uint64_t t = 1; t <= txns; ++t)
-        applyTxn(p, out, rng, t);
+        applyTxn(p, out, rng, t, zipf.get());
 }
 
 void

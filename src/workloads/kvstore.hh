@@ -22,6 +22,7 @@
 #define THYNVM_WORKLOADS_KVSTORE_HH
 
 #include <deque>
+#include <memory>
 
 #include "common/rng.hh"
 #include "cpu/workload.hh"
@@ -53,8 +54,15 @@ class KvWorkload : public Workload
         std::uint32_t value_size = 256;
         /** Keys preloaded before measurement. */
         std::uint64_t initial_keys = 1024;
-        /** Keys are drawn uniformly from [0, key_space). */
+        /** Keys are drawn from [0, key_space). */
         std::uint64_t key_space = 4096;
+        /**
+         * Zipfian skew of transaction keys: 0 keeps the historical
+         * uniform draw; in (0, 1) keys come from a scrambled-zipfian
+         * generator (YCSB idiom, 0.99 = YCSB default) over key_space.
+         * Initial loading stays uniform either way.
+         */
+        double zipf_theta = 0.0;
         /** Operation mix (remainder of 1.0 goes to deletes). */
         double search_frac = 0.5;
         double insert_frac = 0.35;
@@ -106,14 +114,22 @@ class KvWorkload : public Workload
     static Addr heapBase() { return 4096; }
 
     static void buildInitialImage(const Params& p, HostMemSpace& img);
-    /** Apply one transaction against @p mem using @p rng. */
+    /**
+     * Apply one transaction against @p mem using @p rng; @p zipf (may
+     * be null) supplies skewed keys when the params ask for them.
+     */
     static void applyTxn(const Params& p, MemSpace& mem, Rng& rng,
-                         std::uint64_t txn_no);
+                         std::uint64_t txn_no,
+                         const ZipfianGenerator* zipf);
+    /** Key generator for @p p, or nullptr for the uniform draw. */
+    static std::unique_ptr<ZipfianGenerator>
+    makeKeyGenerator(const Params& p);
 
     void planNextTxn();
 
     Params p_;
     Rng rng_;
+    std::unique_ptr<ZipfianGenerator> zipf_;
     MemController* mem_ = nullptr;
     std::deque<PlannedOp> ops_;
     PlannedOp cur_;

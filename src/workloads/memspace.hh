@@ -19,10 +19,12 @@
 #include <cstring>
 #include <functional>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "mem/paged_bytes.hh"
 
 namespace thynvm {
 
@@ -61,33 +63,58 @@ class MemSpace
 };
 
 /**
- * A host-resident memory space (plain buffer).
+ * A host-resident memory space on a sparse COW paged store, so
+ * GB-scale initial images only cost host memory for touched pages.
  */
 class HostMemSpace : public MemSpace
 {
   public:
-    explicit HostMemSpace(std::size_t size) : bytes_(size, 0) {}
+    explicit HostMemSpace(std::size_t size) : bytes_(size) {}
 
     void
     read(Addr addr, void* buf, std::size_t len) override
     {
         panic_if(addr + len > bytes_.size(), "host space read overflow");
-        std::memcpy(buf, bytes_.data() + addr, len);
+        bytes_.read(addr, buf, len);
     }
 
     void
     write(Addr addr, const void* buf, std::size_t len) override
     {
         panic_if(addr + len > bytes_.size(), "host space write overflow");
-        std::memcpy(bytes_.data() + addr, buf, len);
+        bytes_.write(addr, buf, len);
     }
 
-    /** Raw contents (for loadImage / byte comparisons). */
-    const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+    /** Materialized contents (for byte comparisons in tests). */
+    std::vector<std::uint8_t>
+    bytes() const
+    {
+        std::vector<std::uint8_t> out(bytes_.size(), 0);
+        bytes_.forEachTouchedRange(
+            0, bytes_.size(),
+            [&](Addr a, const std::uint8_t* data, std::size_t len) {
+                std::memcpy(out.data() + a, data, len);
+            });
+        return out;
+    }
+
+    /**
+     * Enumerate touched bytes as fn(addr, data, len), ascending; any
+     * byte not reported is zero (see PagedBytes). Sparse image loads
+     * iterate this instead of shipping the whole capacity.
+     */
+    template <typename Fn>
+    void
+    forEachTouchedRange(Fn&& fn) const
+    {
+        bytes_.forEachTouchedRange(0, bytes_.size(),
+                                   std::forward<Fn>(fn));
+    }
+
     std::size_t size() const { return bytes_.size(); }
 
   private:
-    std::vector<std::uint8_t> bytes_;
+    PagedBytes bytes_;
 };
 
 /**

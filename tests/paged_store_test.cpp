@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Units for the sparse copy-on-write store (PagedBytes / BackingStore)
+ * and the Zipfian key generator.
+ *
+ * The store tests pin the contracts the simulator leans on: untouched
+ * ranges read as zeros without materializing pages, COW copies are
+ * isolated in both directions after a write, views compose offsets and
+ * straddle host-page boundaries transparently, and the touched-range
+ * enumeration covers exactly the bytes that can be nonzero. A final
+ * group drives the same operation sequence through the paged path and
+ * the THYNVM_DENSE_STORE fallback and requires byte-equal results.
+ */
+
+#include "tests/test_util.hh"
+
+#include <cstring>
+#include <map>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hh"
+#include "mem/backing_store.hh"
+#include "mem/paged_bytes.hh"
+
+namespace thynvm {
+namespace {
+
+std::vector<std::uint8_t>
+readAll(const PagedBytes& pb)
+{
+    std::vector<std::uint8_t> out(pb.size());
+    pb.read(0, out.data(), out.size());
+    return out;
+}
+
+TEST(PagedBytes, UntouchedRangesReadZeroWithoutMaterializing)
+{
+    PagedBytes pb(10 * kHostPageSize);
+    EXPECT_EQ(pb.touchedPageCount(), 0u);
+
+    // Reads anywhere — including straddling page boundaries — return
+    // zeros and must not allocate pages.
+    std::vector<std::uint8_t> buf(3 * kHostPageSize, 0xab);
+    pb.read(kHostPageSize / 2, buf.data(), buf.size());
+    for (std::uint8_t b : buf)
+        ASSERT_EQ(b, 0);
+    EXPECT_EQ(pb.touchedPageCount(), 0u);
+    EXPECT_FALSE(pb.touched(0));
+}
+
+TEST(PagedBytes, WriteMaterializesOnlyCoveredPages)
+{
+    PagedBytes pb(8 * kHostPageSize);
+    const std::uint8_t v[3] = {1, 2, 3};
+    // A write straddling pages 2|3 materializes exactly those two.
+    pb.write(3 * kHostPageSize - 2, v, sizeof(v));
+    EXPECT_EQ(pb.touchedPageCount(), 2u);
+    EXPECT_TRUE(pb.touched(2 * kHostPageSize));
+    EXPECT_TRUE(pb.touched(3 * kHostPageSize));
+    EXPECT_FALSE(pb.touched(0));
+
+    std::uint8_t got[3] = {};
+    pb.read(3 * kHostPageSize - 2, got, sizeof(got));
+    EXPECT_EQ(0, std::memcmp(got, v, sizeof(v)));
+}
+
+TEST(PagedBytes, CowCopyIsolatedInBothDirections)
+{
+    PagedBytes a(4 * kHostPageSize);
+    const std::uint8_t x = 0x11;
+    a.write(100, &x, 1);
+
+    PagedBytes b(a); // COW share
+    EXPECT_EQ(b.touchedPageCount(), 1u);
+
+    // Writing the copy must not disturb the original...
+    const std::uint8_t y = 0x22;
+    b.write(100, &y, 1);
+    std::uint8_t got = 0;
+    a.read(100, &got, 1);
+    EXPECT_EQ(got, 0x11);
+    b.read(100, &got, 1);
+    EXPECT_EQ(got, 0x22);
+
+    // ...and writing the original must not disturb the copy, even on a
+    // page the copy still shares.
+    const std::uint8_t z = 0x33;
+    a.write(200, &z, 1);
+    b.read(200, &got, 1);
+    EXPECT_EQ(got, 0);
+    a.read(200, &got, 1);
+    EXPECT_EQ(got, 0x33);
+}
+
+TEST(PagedBytes, ZeroFillPreservesSparsityAndClearDropsPages)
+{
+    PagedBytes pb(6 * kHostPageSize);
+    // Zero-filling untouched space is a no-op on the page table.
+    pb.fill(0, 0, pb.size());
+    EXPECT_EQ(pb.touchedPageCount(), 0u);
+
+    const std::uint8_t v = 0x5a;
+    pb.write(0, &v, 1);
+    pb.write(2 * kHostPageSize + 7, &v, 1);
+    EXPECT_EQ(pb.touchedPageCount(), 2u);
+
+    // clearRange drops fully covered pages back to the zero page and
+    // memsets partially covered ones in place.
+    pb.clearRange(0, kHostPageSize);            // full page 0: dropped
+    pb.clearRange(2 * kHostPageSize, 16);       // partial page 2: memset
+    EXPECT_EQ(pb.touchedPageCount(), 1u);
+    std::uint8_t got = 0xff;
+    pb.read(2 * kHostPageSize + 7, &got, 1);
+    EXPECT_EQ(got, 0);
+
+    pb.clear();
+    EXPECT_EQ(pb.touchedPageCount(), 0u);
+}
+
+TEST(PagedBytes, TouchedRangeEnumerationIsAscendingAndExact)
+{
+    PagedBytes pb(10 * kHostPageSize);
+    const std::uint8_t v = 1;
+    pb.write(1 * kHostPageSize + 10, &v, 1);
+    pb.write(4 * kHostPageSize, &v, 1);
+    pb.write(7 * kHostPageSize + 100, &v, 1);
+
+    // Clipped window [page1+20, page7+50): page 1 tail, page 4, page 7
+    // head — ascending, page-clipped, nothing outside the window.
+    std::vector<std::pair<Addr, std::size_t>> ranges;
+    pb.forEachTouchedRange(
+        1 * kHostPageSize + 20, 7 * kHostPageSize + 50,
+        [&](Addr a, const std::uint8_t*, std::size_t len) {
+            ranges.emplace_back(a, len);
+        });
+    ASSERT_EQ(ranges.size(), 3u);
+    EXPECT_EQ(ranges[0].first, 1 * kHostPageSize + 20);
+    EXPECT_EQ(ranges[0].second, kHostPageSize - 20);
+    EXPECT_EQ(ranges[1].first, 4 * kHostPageSize);
+    EXPECT_EQ(ranges[1].second, kHostPageSize);
+    EXPECT_EQ(ranges[2].first, 7 * kHostPageSize);
+    EXPECT_EQ(ranges[2].second, 50u);
+    for (std::size_t i = 1; i < ranges.size(); ++i)
+        EXPECT_LT(ranges[i - 1].first, ranges[i].first);
+}
+
+TEST(PagedBytes, DenseFallbackIsByteIdentical)
+{
+    // Drive the identical operation sequence through both modes and
+    // compare full contents. The env var is read at construction.
+    auto drive = [](PagedBytes& pb) {
+        Rng rng(42);
+        for (int i = 0; i < 500; ++i) {
+            const Addr a = rng.below(pb.size() - 64);
+            std::uint8_t buf[64];
+            for (auto& b : buf)
+                b = static_cast<std::uint8_t>(rng.next());
+            switch (rng.below(4)) {
+              case 0: pb.write(a, buf, sizeof(buf)); break;
+              case 1: pb.fill(a, buf[0], 40); break;
+              case 2: pb.clearRange(a, 100); break;
+              default: {
+                  std::uint8_t out[64];
+                  pb.read(a, out, sizeof(out));
+                  break;
+              }
+            }
+        }
+    };
+
+    PagedBytes paged(5 * kHostPageSize);
+    drive(paged);
+
+    test::EnvGuard dense_env("THYNVM_DENSE_STORE", "1");
+    PagedBytes dense(5 * kHostPageSize);
+    EXPECT_TRUE(dense.dense());
+    drive(dense);
+
+    EXPECT_EQ(readAll(paged), readAll(dense));
+
+    // The touched-range contract holds in both modes: rebuilding from
+    // the enumeration reproduces the full contents.
+    for (const PagedBytes* pb : {&paged, &dense}) {
+        std::vector<std::uint8_t> rebuilt(pb->size(), 0);
+        pb->forEachTouchedRange(
+            0, pb->size(),
+            [&](Addr a, const std::uint8_t* d, std::size_t len) {
+                std::memcpy(rebuilt.data() + a, d, len);
+            });
+        EXPECT_EQ(rebuilt, readAll(*pb));
+    }
+}
+
+TEST(BackingStore, ViewStraddlesHostPageBoundary)
+{
+    auto root = std::make_shared<BackingStore>(4 * kHostPageSize);
+    // A view whose range crosses the page-1|page-2 boundary at an
+    // unaligned offset; writes through it must land in the root.
+    BackingStore view(root, kHostPageSize + kHostPageSize / 2,
+                      kHostPageSize);
+    std::vector<std::uint8_t> pat(kHostPageSize);
+    for (std::size_t i = 0; i < pat.size(); ++i)
+        pat[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    view.write(0, pat.data(), pat.size());
+
+    std::vector<std::uint8_t> got(pat.size());
+    root->read(kHostPageSize + kHostPageSize / 2, got.data(), got.size());
+    EXPECT_EQ(got, pat);
+
+    // And reads through the view see root writes.
+    const std::uint8_t v = 0xee;
+    root->write(kHostPageSize + kHostPageSize / 2 + 10, &v, 1);
+    std::uint8_t b = 0;
+    view.read(10, &b, 1);
+    EXPECT_EQ(b, 0xee);
+}
+
+TEST(BackingStore, RootCloneIsCowIsolated)
+{
+    BackingStore store(4 * kHostPageSize);
+    const std::uint8_t v = 0x42;
+    store.write(123, &v, 1);
+
+    auto clone = store.clone();
+    // Diverge both sides; neither write may leak across.
+    const std::uint8_t w1 = 0x17, w2 = 0x99;
+    store.write(123, &w1, 1);
+    clone->write(500, &w2, 1);
+
+    std::uint8_t got = 0;
+    clone->read(123, &got, 1);
+    EXPECT_EQ(got, 0x42);
+    store.read(500, &got, 1);
+    EXPECT_EQ(got, 0);
+}
+
+TEST(BackingStore, ViewCloneCopiesOnlyItsRange)
+{
+    auto root = std::make_shared<BackingStore>(4 * kHostPageSize);
+    const std::uint8_t in = 0x31, out = 0x77;
+    root->write(2 * kHostPageSize + 5, &in, 1);  // inside the view
+    root->write(10, &out, 1);                    // outside the view
+
+    BackingStore view(root, 2 * kHostPageSize, kHostPageSize);
+    auto clone = view.clone();
+    ASSERT_EQ(clone->size(), kHostPageSize);
+    std::uint8_t got = 0;
+    clone->read(5, &got, 1);
+    EXPECT_EQ(got, 0x31);
+    // The clone is a fresh root: later root writes don't show through.
+    const std::uint8_t v2 = 0x55;
+    root->write(2 * kHostPageSize + 5, &v2, 1);
+    clone->read(5, &got, 1);
+    EXPECT_EQ(got, 0x31);
+}
+
+TEST(Zipfian, MatchesAnalyticFrequencies)
+{
+    const std::uint64_t n = 100;
+    const double theta = 0.99;
+    ZipfianGenerator zipf(n, theta);
+    Rng rng(test::loggedSeed("zipfian.freq", 11));
+
+    const std::uint64_t draws = 200000;
+    std::vector<std::uint64_t> counts(n, 0);
+    for (std::uint64_t i = 0; i < draws; ++i) {
+        const std::uint64_t r = zipf.next(rng);
+        ASSERT_LT(r, n);
+        ++counts[r];
+    }
+
+    // The head ranks carry enough mass for a tight relative check
+    // (rank 0 expects ~13% of draws at theta=0.99, n=100).
+    for (std::uint64_t r = 0; r < 10; ++r) {
+        const double expect = zipf.probability(r);
+        const double got =
+            static_cast<double>(counts[r]) / static_cast<double>(draws);
+        EXPECT_NEAR(got, expect, 0.15 * expect)
+            << "rank " << r << " frequency off: got " << got
+            << " want " << expect;
+    }
+    // Probabilities the generator reports must themselves normalize.
+    double sum = 0.0;
+    for (std::uint64_t r = 0; r < n; ++r)
+        sum += zipf.probability(r);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // Monotone decreasing popularity over the head.
+    for (std::uint64_t r = 1; r < 10; ++r)
+        EXPECT_GE(counts[r - 1], counts[r]) << "rank " << r;
+}
+
+TEST(Zipfian, ScrambledDrawsAreInRangeAndDeterministic)
+{
+    const std::uint64_t n = 5000;
+    ZipfianGenerator zipf(n, 0.99);
+
+    Rng a(123), b(123);
+    std::map<std::uint64_t, std::uint64_t> seen;
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t ka = zipf.nextScrambled(a);
+        const std::uint64_t kb = zipf.nextScrambled(b);
+        ASSERT_LT(ka, n);
+        // Stateless across draws: equal Rng streams give equal keys —
+        // the property KvWorkload's snapshot/restore replay relies on.
+        ASSERT_EQ(ka, kb);
+        ++seen[ka];
+    }
+    // Scrambling spreads the popular ranks across the key space: the
+    // hottest keys must not cluster at the low end.
+    std::uint64_t hot_key = 0, hot_count = 0;
+    for (const auto& [k, c] : seen) {
+        if (c > hot_count) {
+            hot_key = k;
+            hot_count = c;
+        }
+    }
+    EXPECT_GT(hot_key, 100u)
+        << "scrambled zipfian left the hottest key at the low keys";
+}
+
+} // namespace
+} // namespace thynvm

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -81,6 +82,37 @@ settle(EventQueue& eq, Tick limit_delta = 100 * kMillisecond)
 {
     eq.run(eq.now() + limit_delta);
 }
+
+/**
+ * Scoped environment override (nullptr clears); the previous value is
+ * restored on destruction. Constructed *before* the object that reads
+ * the variable — stores, kernels, and fast-path switches all sample
+ * their knobs at construction time.
+ */
+struct EnvGuard
+{
+    EnvGuard(const char* name, const char* value) : name_(name)
+    {
+        if (const char* old = std::getenv(name)) {
+            had_old_ = true;
+            old_ = old;
+        }
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~EnvGuard()
+    {
+        if (had_old_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+    const char* name_;
+    std::string old_;
+    bool had_old_ = false;
+};
 
 } // namespace test
 } // namespace thynvm
