@@ -46,15 +46,16 @@ printSummary(const std::vector<RunMetrics>& results)
     for (std::size_t p = 0; p < kPatterns.size(); ++p) {
         std::printf("\n(%c) %s\n", static_cast<char>('a' + p),
                     patternName(kPatterns[p]));
-        std::printf("%-10s %10s %10s %12s %10s %10s\n", "system",
+        std::printf("%-10s %10s %10s %12s %10s %10s %8s\n", "system",
                     "cpu_MB", "ckpt_MB", "migration_MB", "total_MB",
-                    "ckpt_%");
+                    "ckpt_%", "wamp");
         for (std::size_t s = 0; s < kSystems.size(); ++s) {
             const auto& m = results[p * kSystems.size() + s];
-            std::printf("%-10s %10.1f %10.1f %12.1f %10.1f %10.2f\n",
+            std::printf("%-10s %10.1f %10.1f %12.1f %10.1f %10.2f %8.2f\n",
                         systemKindName(kSystems[s]), mb(m.nvm_wr_cpu),
                         mb(m.nvm_wr_ckpt), mb(m.nvm_wr_migration),
-                        mb(m.nvm_wr_total), m.ckpt_time_frac * 100.0);
+                        mb(m.nvm_wr_total), m.ckpt_time_frac * 100.0,
+                        m.write_amp);
         }
     }
     std::printf("\n(paper: Journal/Shadow spend ~18.9%%/15.2%% of time "

@@ -153,6 +153,7 @@ class EpochController : public MemController
     {
         crashPoint("ckpt.committed");
         ++epochs_;
+        noteEpochCommitted();
         const Tick stalled = curTick() - stall_start_;
         ckpt_stall_time_ += static_cast<double>(stalled);
         ckpt_busy_time_ += static_cast<double>(stalled);
@@ -169,12 +170,16 @@ class EpochController : public MemController
     {
         auto stalled = std::move(stalled_);
         stalled_.clear();
+        // Replays re-enter accessBlock but are the same program stores
+        // that already counted toward app_write_bytes on first arrival.
+        replaying_app_ = true;
         for (auto& s : stalled) {
             ckpt_stall_time_ +=
                 static_cast<double>(curTick() - s.stalled_at);
             accessBlock(s.paddr, s.is_write, s.data.data(), nullptr,
                         TrafficSource::CpuWriteback, std::move(s.done));
         }
+        replaying_app_ = false;
     }
 
     /** Reset the epoch machinery after a crash. */

@@ -68,6 +68,7 @@ class IdealController : public MemController
         panic_if(paddr + kBlockSize > phys_size_,
                  "physical address out of range");
         if (is_write) {
+            noteAppWrite();
             port_.sendWrite(paddr, wdata, source, {}, std::move(done));
         } else {
             port_.functionalRead(paddr, rdata, kBlockSize);

@@ -116,6 +116,7 @@ JournalController::accessBlock(Addr paddr, bool is_write,
     }
 
     // Store: coalesce into the DRAM journal buffer.
+    noteAppWrite();
     std::size_t slot;
     if (it != table_.end()) {
         slot = it->second;

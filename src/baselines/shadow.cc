@@ -199,6 +199,7 @@ ShadowController::accessBlock(Addr paddr, bool is_write,
         return;
     }
 
+    noteAppWrite();
     Resident& r = fault(page);
     r.dirty = true;
     dram_port_.sendWrite(r.slot * kPageSize + (paddr - page), wdata,

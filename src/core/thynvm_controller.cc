@@ -132,10 +132,12 @@ ThyNvmController::accessBlock(Addr paddr, bool is_write,
     panic_if(paddr % kBlockSize != 0, "unaligned controller access");
     panic_if(paddr + kBlockSize > cfg_.phys_size,
              "physical address out of range");
-    if (is_write)
+    if (is_write) {
+        noteAppWrite();
         handleStore(paddr, wdata, std::move(done));
-    else
+    } else {
         handleLoad(paddr, rdata, std::move(done));
+    }
 }
 
 void
@@ -1335,6 +1337,7 @@ ThyNvmController::commitCheckpoint()
     }
 
     ++epochs_;
+    noteEpochCommitted();
     ckpt_busy_time_ += static_cast<double>(curTick() - ckpt_start_tick_);
     ckpt_in_progress_ = false;
     backup_toggle_ ^= 1u;

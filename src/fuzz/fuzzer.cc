@@ -68,6 +68,8 @@ systemToken(SystemKind kind)
       case SystemKind::Journal: return "journal";
       case SystemKind::Shadow: return "shadow";
       case SystemKind::ThyNvm: return "thynvm";
+      case SystemKind::Icl: return "icl";
+      case SystemKind::Incremental: return "incremental";
     }
     return "unknown";
 }
@@ -77,9 +79,7 @@ namespace {
 bool
 systemFromToken(const std::string& tok, SystemKind& out)
 {
-    for (SystemKind k : {SystemKind::IdealDram, SystemKind::IdealNvm,
-                         SystemKind::Journal, SystemKind::Shadow,
-                         SystemKind::ThyNvm}) {
+    for (SystemKind k : kAllSystemKinds) {
         if (tok == systemToken(k)) {
             out = k;
             return true;

@@ -230,7 +230,9 @@ struct CampaignOptions
     std::vector<std::string> workloads = {"rand", "slide"};
     std::vector<SystemKind> systems = {SystemKind::ThyNvm,
                                        SystemKind::Journal,
-                                       SystemKind::Shadow};
+                                       SystemKind::Shadow,
+                                       SystemKind::Icl,
+                                       SystemKind::Incremental};
     /** Run every case with fast path on and off. */
     bool both_fast_path_modes = false;
     /** Crash at the first and last hit of each site (else last only). */

@@ -11,7 +11,9 @@
 #include <cstring>
 #include <ostream>
 
+#include "baselines/icl.hh"
 #include "baselines/ideal.hh"
+#include "baselines/incremental.hh"
 #include "baselines/journal.hh"
 #include "baselines/shadow.hh"
 #include "core/layout.hh"
@@ -76,6 +78,28 @@ scaledShadow(const ChannelGroup::Config& cfg, std::size_t ch_phys)
     return sc;
 }
 
+IclConfig
+scaledIcl(const ChannelGroup::Config& cfg, std::size_t ch_phys)
+{
+    IclConfig ic;
+    ic.phys_size = ch_phys;
+    ic.epoch_length = cfg.epoch_length;
+    return ic;
+}
+
+IncrementalConfig
+scaledIncremental(const ChannelGroup::Config& cfg, std::size_t ch_phys)
+{
+    const unsigned c = cfg.channels;
+    IncrementalConfig nc;
+    nc.phys_size = ch_phys;
+    nc.epoch_length = cfg.epoch_length;
+    nc.table_entries =
+        (cfg.thynvm.btt_entries + cfg.thynvm.ptt_entries + c - 1) / c;
+    // Headroom undivided, same rationale as the journal above.
+    return nc;
+}
+
 /** Durable NVM bytes one channel of the configured kind needs. */
 std::size_t
 sliceSize(const ChannelGroup::Config& cfg, std::size_t ch_phys)
@@ -90,6 +114,11 @@ sliceSize(const ChannelGroup::Config& cfg, std::size_t ch_phys)
         return ShadowController::nvmCapacity(scaledShadow(cfg, ch_phys));
       case SystemKind::ThyNvm:
         return AddressLayout(scaledThyNvm(cfg, ch_phys)).nvmSize();
+      case SystemKind::Icl:
+        return IclController::nvmCapacity(scaledIcl(cfg, ch_phys));
+      case SystemKind::Incremental:
+        return IncrementalController::nvmCapacity(
+            scaledIncremental(cfg, ch_phys));
     }
     return 0;
 }
@@ -206,6 +235,21 @@ ChannelGroup::buildChannel(EventQueue& eq, unsigned i, std::size_t ch_phys,
         ctrl = std::move(c);
         break;
       }
+      case SystemKind::Icl: {
+        auto c = std::make_unique<IclController>(
+            eq, cname, scaledIcl(cfg_, ch_phys), std::move(slice));
+        c->setResumeClient(resume);
+        ctrl = std::move(c);
+        break;
+      }
+      case SystemKind::Incremental: {
+        auto c = std::make_unique<IncrementalController>(
+            eq, cname, scaledIncremental(cfg_, ch_phys),
+            std::move(slice));
+        c->setResumeClient(resume);
+        ctrl = std::move(c);
+        break;
+      }
     }
     ctrl->setCrashSitePrefix(prefix);
     return ctrl;
@@ -259,6 +303,11 @@ ChannelGroup::accessBlock(Addr paddr, bool is_write,
         // interconnect; the channel controller applies it to its own
         // state and acknowledges.
         mirror_.write(paddr, wdata, kBlockSize);
+        // Group-level write-amplification denominator. (The per-epoch
+        // histogram stays unsampled at group level: the media counters
+        // live on the channel shards and may not be quiescent at the
+        // commit barrier; each channel samples its own on its shard.)
+        noteAppWrite();
         auto data = std::make_shared<std::array<std::uint8_t, kBlockSize>>();
         std::memcpy(data->data(), wdata, kBlockSize);
         postToChannel(ch, [this, ch, local, source, data, reply] {

@@ -23,6 +23,8 @@ systemKindName(SystemKind kind)
       case SystemKind::Journal: return "Journal";
       case SystemKind::Shadow: return "Shadow";
       case SystemKind::ThyNvm: return "ThyNVM";
+      case SystemKind::Icl: return "ICL";
+      case SystemKind::Incremental: return "Incremental";
     }
     return "unknown";
 }
@@ -87,6 +89,28 @@ System::System(const SystemConfig& cfg, Workload& workload,
         tc.epoch_length = cfg_.epoch_length;
         auto ctrl = std::make_unique<ThyNvmController>(
             eq_, "sys.ctrl", tc, std::move(nvm_store));
+        ctrl->setResumeClient([this] { cpu_->resume(); });
+        controller_ = std::move(ctrl);
+        break;
+      }
+      case SystemKind::Icl: {
+        IclConfig ic;
+        ic.phys_size = cfg_.phys_size;
+        ic.epoch_length = cfg_.epoch_length;
+        auto ctrl = std::make_unique<IclController>(
+            eq_, "sys.ctrl", ic, std::move(nvm_store));
+        ctrl->setResumeClient([this] { cpu_->resume(); });
+        controller_ = std::move(ctrl);
+        break;
+      }
+      case SystemKind::Incremental: {
+        IncrementalConfig nc;
+        nc.phys_size = cfg_.phys_size;
+        nc.epoch_length = cfg_.epoch_length;
+        nc.table_entries =
+            cfg_.thynvm.btt_entries + cfg_.thynvm.ptt_entries;
+        auto ctrl = std::make_unique<IncrementalController>(
+            eq_, "sys.ctrl", nc, std::move(nvm_store));
         ctrl->setResumeClient([this] { cpu_->resume(); });
         controller_ = std::move(ctrl);
         break;
@@ -393,6 +417,12 @@ System::metrics() const
                   static_cast<double>(m.exec_time)
             : 0.0;
     m.epochs = ctrl->completedEpochs();
+    m.app_wr_bytes = ctrl->appWriteBytes();
+    m.write_amp =
+        m.app_wr_bytes > 0
+            ? static_cast<double>(ctrl->mediaWriteBytes()) /
+                  static_cast<double>(m.app_wr_bytes)
+            : 0.0;
     return m;
 }
 

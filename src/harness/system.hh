@@ -1,6 +1,6 @@
 /**
  * @file
- * Full-system assembly: CPU + cache hierarchy + one of the five
+ * Full-system assembly: CPU + cache hierarchy + one of the seven
  * evaluated memory controllers, wired per Table 2 of the paper.
  *
  * The System also orchestrates power failures: crash() discards all
@@ -17,7 +17,9 @@
 #include <iosfwd>
 #include <memory>
 
+#include "baselines/icl.hh"
 #include "baselines/ideal.hh"
+#include "baselines/incremental.hh"
 #include "baselines/journal.hh"
 #include "baselines/shadow.hh"
 #include "cache/cache.hh"
@@ -97,6 +99,10 @@ struct RunMetrics
     std::uint64_t dram_wr_total = 0;
     double ckpt_time_frac = 0.0;
     std::uint64_t epochs = 0;
+    /** Application write bytes that reached the controller. */
+    std::uint64_t app_wr_bytes = 0;
+    /** Media write bytes / application write bytes (cumulative). */
+    double write_amp = 0.0;
 };
 
 /**

@@ -50,6 +50,23 @@ class MemController : public SimObject, public BlockAccessor
                           "ticks a checkpoint phase was in progress");
         stats().addScalar("recoveries", &recoveries_,
                           "successful crash recoveries");
+        stats().addScalar("app_write_bytes", &app_write_bytes_,
+                          "application write bytes arriving at the "
+                          "controller (cache writebacks, replays "
+                          "excluded)");
+        stats().addFormula(
+            "write_amplification",
+            [this] {
+                const std::uint64_t media = mediaWriteBytes();
+                const std::uint64_t app = appWriteBytes();
+                return app > 0 ? static_cast<double>(media) /
+                                     static_cast<double>(app)
+                               : 0.0;
+            },
+            "media write bytes / application write bytes, cumulative");
+        stats().addHistogram("epoch_wamp", &epoch_wamp_,
+                             "per-epoch write amplification (media "
+                             "delta / app delta at each commit)");
     }
 
     /** Size of the software-visible physical address space in bytes. */
@@ -292,6 +309,31 @@ class MemController : public SimObject, public BlockAccessor
         return d != nullptr ? d->totalWriteBytes() : 0;
     }
 
+    /**
+     * Application write bytes that have arrived at this controller:
+     * every accessBlock() write from the hierarchy, excluding internal
+     * replays of stalled accesses (which would double-count the same
+     * program store). The denominator of write amplification.
+     */
+    std::uint64_t
+    appWriteBytes() const
+    {
+        return static_cast<std::uint64_t>(app_write_bytes_.value());
+    }
+
+    /**
+     * Media write bytes — the numerator of write amplification. NVM
+     * writes when this system has an NVM device; Ideal DRAM (no NVM at
+     * all) falls back to its DRAM device so its amplification is still
+     * defined (and exactly 1.0: no consistency machinery).
+     */
+    std::uint64_t
+    mediaWriteBytes()
+    {
+        const std::uint64_t nvm = nvmTotalWriteBytes();
+        return nvm != 0 ? nvm : dramTotalWriteBytes();
+    }
+
     /** Ticks execution was blocked due to checkpointing. */
     Tick
     checkpointStallTime() const
@@ -333,6 +375,39 @@ class MemController : public SimObject, public BlockAccessor
             resume();
     }
 
+    /**
+     * Count one application write block. Every concrete controller
+     * calls this at the top of its accessBlock() write path; suppressed
+     * while a stalled-access replay is in flight (the original arrival
+     * already counted).
+     */
+    void
+    noteAppWrite()
+    {
+        if (!replaying_app_)
+            app_write_bytes_ += static_cast<double>(kBlockSize);
+    }
+
+    /**
+     * Sample the per-epoch write-amplification histogram; called right
+     * after each ++epochs_ on the controller's own shard. Epochs with
+     * no application writes are skipped (an empty epoch's fixed
+     * metadata cost would make the ratio meaningless).
+     */
+    void
+    noteEpochCommitted()
+    {
+        const std::uint64_t media = mediaWriteBytes();
+        const std::uint64_t app = appWriteBytes();
+        if (app > last_epoch_app_ && media >= last_epoch_media_) {
+            epoch_wamp_.sample(
+                static_cast<double>(media - last_epoch_media_) /
+                static_cast<double>(app - last_epoch_app_));
+        }
+        last_epoch_media_ = media;
+        last_epoch_app_ = app;
+    }
+
     FlushClient flush_;
     CommitGateFn commit_gate_;
     std::string site_prefix_;
@@ -341,6 +416,12 @@ class MemController : public SimObject, public BlockAccessor
     stats::Scalar ckpt_stall_time_;
     stats::Scalar ckpt_busy_time_;
     stats::Scalar recoveries_;
+    stats::Scalar app_write_bytes_;
+    stats::Histogram epoch_wamp_{16, 64.0};
+    /** True while EpochController::replayStalled re-issues accesses. */
+    bool replaying_app_ = false;
+    std::uint64_t last_epoch_media_ = 0;
+    std::uint64_t last_epoch_app_ = 0;
 };
 
 } // namespace thynvm

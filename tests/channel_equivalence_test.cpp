@@ -6,7 +6,7 @@
  *
  *  1. The single-channel topology (`channels = 1`) is bit-for-bit the
  *     seed machine: dumpStats() of representative micro / KV / SPEC
- *     runs across all five SystemKinds must match goldens generated
+ *     runs across all seven SystemKinds must match goldens generated
  *     before the multi-channel topology existed
  *     (tests/goldens/channel_*.txt; regenerate only deliberately with
  *     THYNVM_UPDATE_GOLDENS=1).
@@ -21,6 +21,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -66,6 +67,8 @@ kindToken(SystemKind kind)
       case SystemKind::Journal: return "journal";
       case SystemKind::Shadow: return "shadow";
       case SystemKind::ThyNvm: return "thynvm";
+      case SystemKind::Icl: return "icl";
+      case SystemKind::Incremental: return "incremental";
     }
     return "?";
 }
@@ -73,8 +76,7 @@ kindToken(SystemKind kind)
 std::vector<SystemKind>
 allKinds()
 {
-    return {SystemKind::IdealDram, SystemKind::IdealNvm,
-            SystemKind::Journal, SystemKind::Shadow, SystemKind::ThyNvm};
+    return {std::begin(kAllSystemKinds), std::end(kAllSystemKinds)};
 }
 
 /** Small-but-real configuration so one run finishes in milliseconds. */
@@ -300,8 +302,9 @@ TEST(ChannelEquivalence, EotModesByteIdenticalAcrossChannelsAndThreads)
  */
 TEST(ChannelEquivalence, CoordinatedEpochsComplete)
 {
-    for (SystemKind kind : {SystemKind::Journal, SystemKind::Shadow,
-                            SystemKind::ThyNvm}) {
+    for (SystemKind kind : kAllSystemKinds) {
+        if (!isCheckpointingKind(kind))
+            continue;
         SystemConfig cfg = smallConfig(kind);
         cfg.channels = 2;
         cfg.epoch_length = 100 * kMicrosecond;

@@ -16,12 +16,15 @@
 
 #include "tests/test_util.hh"
 
+#include <algorithm>
+#include <iterator>
 #include <map>
 
 #include "baselines/journal.hh"
 #include "baselines/shadow.hh"
 #include "common/rng.hh"
 #include "core/thynvm_controller.hh"
+#include "fuzz/fuzzer.hh"
 
 namespace thynvm {
 namespace {
@@ -348,6 +351,173 @@ TEST(ShadowCrashTest, RecoversToCommittedEpochImage)
                                  << ": torn recovery image";
     }
 }
+
+// ---------------------------------------------------------------------
+// Backend-parameterized recovery-idempotence / double-crash sweep.
+// ---------------------------------------------------------------------
+
+/** Full-image capture through the system's functional view. */
+std::vector<std::uint8_t>
+captureSystemImage(System& sys, std::size_t phys_size)
+{
+    std::vector<std::uint8_t> img(phys_size, 0);
+    FunctionalView view = sys.functionalView();
+    for (Addr page : sys.touchedPhysPages()) {
+        const std::size_t len =
+            std::min<std::size_t>(kPageSize, phys_size - page);
+        view(page, img.data() + page, len);
+    }
+    return img;
+}
+
+/**
+ * The properties every SystemKind must satisfy under repeated power
+ * failures, swept over each crash site the backend announces:
+ *
+ *  - Idempotence: recover, then crash again before any new work, then
+ *    recover again — the second recovery restores the byte-identical
+ *    image and the identical architectural op count. A crashed machine
+ *    whose recovery changes the recovery target would lose data on the
+ *    second failure.
+ *  - Boundary discipline (checkpointing kinds): the restored op count
+ *    is a snapshot actually taken at an epoch boundary, and the
+ *    recovered image equals the golden replay of exactly that prefix.
+ *  - Liveness: the third life resumes and runs to completion, and its
+ *    final image equals the recovered image plus everything it stored.
+ */
+class BackendCrashSweepTest
+    : public ::testing::TestWithParam<SystemKind>
+{};
+
+TEST_P(BackendCrashSweepTest, DoubleCrashRecoveryIsIdempotent)
+{
+    using namespace fuzz;
+    const SystemKind kind = GetParam();
+    const FuzzerConfig fc;
+    const std::uint64_t seed =
+        test::loggedSeed("crash_property.sweep", 11);
+
+    // Crash plans: every site the backend announces on this run, at
+    // its last hit. The ideal kinds announce no sites (no checkpoint
+    // machinery) and get one mid-run crash instead.
+    std::vector<std::pair<std::string, std::uint64_t>> plans;
+    for (const auto& [site, hits] :
+         enumerateSites(fc, seed, "rand", kind, true, 1)) {
+        plans.emplace_back(site, hits);
+    }
+    if (isCheckpointingKind(kind)) {
+        ASSERT_GE(plans.size(), 5u)
+            << systemToken(kind) << " announces too few crash sites";
+    } else {
+        ASSERT_TRUE(plans.empty());
+        plans.emplace_back(std::string(), 0); // tick-based crash
+    }
+
+    for (const auto& [site, hit] : plans) {
+        SCOPED_TRACE(std::string(systemToken(kind)) + " site=" +
+                     (site.empty() ? "<mid-run>" : site));
+
+        // Life 1: run into the crash.
+        MicroWorkload inner1(microParams(fc, seed, "rand"));
+        RecordingWorkload wl1(inner1);
+        SystemConfig cfg = makeSystemConfig(fc, kind, true, 1);
+        CrashPointRegistry reg;
+        if (!site.empty()) {
+            reg.arm(site, hit, 0);
+            cfg.crash_points = &reg;
+        }
+        System sys(cfg, wl1);
+        sys.start();
+        const std::vector<std::uint8_t> base =
+            captureSystemImage(sys, fc.phys_size);
+        EventQueue& eq = sys.eventq();
+        if (!site.empty()) {
+            while (!sys.finished() && !reg.fired() && !eq.empty() &&
+                   eq.now() < fc.run_limit) {
+                eq.step();
+            }
+            ASSERT_TRUE(reg.fired())
+                << "enumerated site did not fire on the armed replay";
+            while (!eq.empty() && eq.nextTick() <= reg.crashTick())
+                eq.step();
+        } else {
+            while (!sys.finished() && !eq.empty() &&
+                   eq.now() < fc.run_limit &&
+                   wl1.opCount() < fc.total_accesses / 2) {
+                eq.step();
+            }
+        }
+        const std::uint64_t commits =
+            sys.controller().completedEpochs();
+        std::shared_ptr<BackingStore> nvm = sys.crash();
+
+        // Life 2: recover, capture, and pull the plug again before a
+        // single new instruction retires.
+        MicroWorkload inner2(microParams(fc, seed, "rand"));
+        RecordingWorkload wl2(inner2);
+        System sys2(makeSystemConfig(fc, kind, true, 1), wl2,
+                    std::move(nvm));
+        sys2.recoverAndResume();
+        const std::uint64_t restored2 =
+            wl2.wasRestored() ? wl2.restoredCount() : 0;
+        const std::vector<std::uint8_t> img_a =
+            captureSystemImage(sys2, fc.phys_size);
+        std::shared_ptr<BackingStore> nvm2 = sys2.crash();
+
+        // Life 3: recover from the re-crashed image.
+        MicroWorkload inner3(microParams(fc, seed, "rand"));
+        RecordingWorkload wl3(inner3);
+        System sys3(makeSystemConfig(fc, kind, true, 1), wl3,
+                    std::move(nvm2));
+        sys3.recoverAndResume();
+        const std::uint64_t restored3 =
+            wl3.wasRestored() ? wl3.restoredCount() : 0;
+        const std::vector<std::uint8_t> img_b =
+            captureSystemImage(sys3, fc.phys_size);
+
+        EXPECT_EQ(restored2, restored3)
+            << "second recovery restored a different epoch boundary";
+        EXPECT_EQ(img_a, img_b)
+            << "recovery is not idempotent under an immediate re-crash";
+
+        if (isCheckpointingKind(kind)) {
+            // Boundary discipline against the recorded store trace.
+            const auto& snaps = wl1.snapshotCounts();
+            if (restored2 == 0) {
+                EXPECT_EQ(commits, 0u);
+            } else {
+                EXPECT_TRUE(std::find(snaps.begin(), snaps.end(),
+                                      restored2) != snaps.end())
+                    << "restored op count " << restored2
+                    << " is not a snapshotted epoch boundary";
+            }
+            std::vector<std::uint8_t> golden = base;
+            applyStores(golden, wl1.stores(), restored2);
+            EXPECT_EQ(img_a, golden)
+                << "recovered image diverges from the golden prefix";
+        }
+
+        // Liveness: the third life must finish, and its final image is
+        // the recovered image plus everything it stored.
+        sys3.run(fc.run_limit);
+        ASSERT_TRUE(sys3.finished())
+            << "resumed execution stalled after the double crash";
+        std::vector<std::uint8_t> want = img_b;
+        applyStores(want, wl3.stores(), ~0ull);
+        EXPECT_EQ(captureSystemImage(sys3, fc.phys_size), want);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendCrashSweepTest,
+    ::testing::ValuesIn(std::vector<SystemKind>(
+        std::begin(kAllSystemKinds), std::end(kAllSystemKinds))),
+    [](const ::testing::TestParamInfo<SystemKind>& info) {
+        // Token with gtest-legal characters only ("ideal-dram" has '-').
+        std::string tok = fuzz::systemToken(info.param);
+        tok.erase(std::remove(tok.begin(), tok.end(), '-'), tok.end());
+        return tok;
+    });
 
 } // namespace
 } // namespace thynvm

@@ -6,7 +6,7 @@
  * THYNVM_DENSE_STORE flat fallback must not change a single simulated
  * byte, stat, or tick. Pinned here across three axes:
  *
- *  1. Clean runs: micro / KV / SPEC on all five system kinds —
+ *  1. Clean runs: micro / KV / SPEC on all seven system kinds —
  *     dumpStats, final tick, and the final functional memory image are
  *     byte-identical between the two store implementations.
  *  2. Topology: the same holds on multi-channel systems at every
@@ -18,6 +18,7 @@
 
 #include "tests/test_util.hh"
 
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -53,8 +54,7 @@ familyToken(Family f)
 std::vector<SystemKind>
 allKinds()
 {
-    return {SystemKind::IdealDram, SystemKind::IdealNvm,
-            SystemKind::Journal, SystemKind::Shadow, SystemKind::ThyNvm};
+    return {std::begin(kAllSystemKinds), std::end(kAllSystemKinds)};
 }
 
 SystemConfig
@@ -221,8 +221,9 @@ TEST(DenseEquivalence, CrashRecoveryImagesByteIdentical)
 {
     using namespace fuzz;
     const FuzzerConfig fc;
-    for (SystemKind kind : {SystemKind::ThyNvm, SystemKind::Journal,
-                            SystemKind::Shadow}) {
+    for (SystemKind kind : kAllSystemKinds) {
+        if (!isCheckpointingKind(kind))
+            continue;
         // Find a site this system actually reaches, then crash at its
         // last hit — same recipe the campaign planner uses.
         std::map<std::string, std::uint64_t> sites;

@@ -53,8 +53,9 @@ usage(const char* argv0)
 int
 listSites(const FuzzerConfig& fc, unsigned channels)
 {
-    for (SystemKind kind : {SystemKind::ThyNvm, SystemKind::Journal,
-                            SystemKind::Shadow}) {
+    for (SystemKind kind :
+         {SystemKind::ThyNvm, SystemKind::Journal, SystemKind::Shadow,
+          SystemKind::Icl, SystemKind::Incremental}) {
         for (const char* wl : {"rand", "slide"}) {
             const auto sites =
                 enumerateSites(fc, 1, wl, kind, true, channels);
